@@ -1,0 +1,134 @@
+//! DATA restricted to host observations (the paper's RQ3 finding).
+//!
+//! On a CUDA application, a Pin-based tool like DATA sees only the host
+//! side: CUDA API calls. It therefore can detect *kernel* leaks (which
+//! originate in host control flow) but is blind to everything inside the
+//! kernels — the paper's conclusion "DATA's potential in identifying
+//! kernel leaks, as they are essentially originated from control-flow
+//! leaks of the host code".
+
+use owl_core::TracedProgram;
+use owl_host::{Device, HostError};
+
+/// A host-observable event in canonical comparable form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HostObservation {
+    /// `cudaMalloc` at a call site with a size.
+    Malloc(String, u64),
+    /// `cuLaunchKernel` at a call site with a kernel name and geometry.
+    Launch(String, String, (u32, u32, u32), (u32, u32, u32)),
+}
+
+/// The host-only differential verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostOnlyReport {
+    /// Whether the host event sequences differed between any two inputs.
+    pub host_sequences_differ: bool,
+    /// The first pair of differing observations, if any.
+    pub first_difference: Option<(Option<HostObservation>, Option<HostObservation>)>,
+    /// Events observed per run (all runs observe the host only).
+    pub events_per_run: Vec<usize>,
+}
+
+fn observe<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+) -> Result<Vec<HostObservation>, HostError> {
+    let mut device = Device::new();
+    program.run(&mut device, input)?;
+    Ok(device
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            owl_host::HostEvent::Malloc {
+                call_site, size, ..
+            } => Some(HostObservation::Malloc(call_site.to_string(), *size)),
+            owl_host::HostEvent::Launch {
+                call_site,
+                kernel,
+                config,
+                ..
+            } => Some(HostObservation::Launch(
+                call_site.to_string(),
+                kernel.clone(),
+                (config.grid.x, config.grid.y, config.grid.z),
+                (config.block.x, config.block.y, config.block.z),
+            )),
+            owl_host::HostEvent::Free { .. } => None,
+        })
+        .collect())
+}
+
+/// Differentially compares host-API traces across the given inputs — all a
+/// Pin-only tool can do for a CUDA application.
+///
+/// # Errors
+///
+/// Propagates program failures.
+pub fn host_only_detect<P: TracedProgram>(
+    program: &P,
+    inputs: &[P::Input],
+) -> Result<HostOnlyReport, HostError> {
+    let mut first: Option<Vec<HostObservation>> = None;
+    let mut report = HostOnlyReport {
+        host_sequences_differ: false,
+        first_difference: None,
+        events_per_run: Vec::new(),
+    };
+    for input in inputs {
+        let obs = observe(program, input)?;
+        report.events_per_run.push(obs.len());
+        match &first {
+            None => first = Some(obs),
+            Some(reference) => {
+                if *reference != obs && report.first_difference.is_none() {
+                    report.host_sequences_differ = true;
+                    let idx = reference
+                        .iter()
+                        .zip(&obs)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| reference.len().min(obs.len()));
+                    report.first_difference = Some((
+                        reference.get(idx).cloned(),
+                        obs.get(idx).cloned(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_workloads::aes::AesTTable;
+    use owl_workloads::torch::{TorchFunction, TorchInput, TorchOpKind};
+
+    #[test]
+    fn host_only_misses_aes_data_flow_leak() {
+        // AES leaks through table addresses inside the kernel; the host
+        // trace is identical for any key — DATA-on-host sees nothing.
+        let aes = AesTTable::new(32);
+        let report =
+            host_only_detect(&aes, &[[0u8; 16], [0xff; 16], *b"sixteen byte key"]).unwrap();
+        assert!(!report.host_sequences_differ, "{report:?}");
+    }
+
+    #[test]
+    fn host_only_catches_tensor_repr_kernel_leak() {
+        // The repr zero-tensor special case changes *which kernel* the host
+        // launches — visible to a host-only tool.
+        let f = TorchFunction::new(TorchOpKind::TensorRepr);
+        let zero = TorchInput::Tensor(owl_workloads::torch::Tensor::zeros([
+            owl_workloads::torch::function::VEC_N,
+        ]));
+        let nonzero = f.random_input(1);
+        let report = host_only_detect(&f, &[zero, nonzero]).unwrap();
+        assert!(report.host_sequences_differ);
+        let (a, b) = report.first_difference.expect("difference located");
+        let is_launch =
+            |o: &Option<HostObservation>| matches!(o, Some(HostObservation::Launch(..)));
+        assert!(is_launch(&a) && is_launch(&b), "{a:?} vs {b:?}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Prior-work comparators for the Owl evaluation (RQ2/RQ3).
+//!
+//! * [`per_thread`] — a DATA-style per-thread tracer whose memory grows
+//!   with the thread count, against Owl's warp-aggregated A-DCFGs.
+//! * [`host_only`] — DATA as it would actually run on a CUDA application
+//!   (Pin on the host): sees kernel leaks, blind to device leaks.
+//! * [`static_ir`] — a naive static taint analysis over the kernel IR,
+//!   reproducing the haybale-pitchfork false-positive mechanisms (thread-
+//!   id-indexed accesses, no predication model).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host_only;
+pub mod per_thread;
+pub mod static_ir;
+
+pub use host_only::{host_only_detect, HostOnlyReport};
+pub use per_thread::{per_thread_diff, record_per_thread, PerThreadDiff, PerThreadTracer};
+pub use static_ir::{analyze_kernel, FindingKind, StaticFinding, StaticReport};

@@ -1,0 +1,79 @@
+//! Criterion benches for the Table IV phase costs: trace collection per
+//! workload, evidence merging, and the distribution tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owl_core::{leakage_test, record_trace, AnalysisConfig, Evidence, TracedProgram};
+use owl_workloads::aes::AesTTable;
+use owl_workloads::dummy::DummySbox;
+use owl_workloads::jpeg::JpegEncode;
+use owl_workloads::rsa::RsaSquareMultiply;
+use owl_workloads::torch::{TorchFunction, TorchOpKind};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g
+}
+
+fn bench_trace_collection(c: &mut Criterion) {
+    let mut g = quick(c);
+
+    let aes = AesTTable::new(32);
+    let key = [0x3cu8; 16];
+    g.bench_function("trace/aes128-ttable", |b| {
+        b.iter(|| record_trace(&aes, &key).expect("trace"))
+    });
+
+    let rsa = RsaSquareMultiply::new(32);
+    g.bench_function("trace/rsa-sqm", |b| {
+        b.iter(|| record_trace(&rsa, &0xdead_beefu64).expect("trace"))
+    });
+
+    let relu = TorchFunction::new(TorchOpKind::Relu);
+    let input = relu.random_input(1);
+    g.bench_function("trace/torch-relu", |b| {
+        b.iter(|| record_trace(&relu, &input).expect("trace"))
+    });
+
+    let enc = JpegEncode::new(16, 16);
+    let img = enc.random_input(1);
+    g.bench_function("trace/jpeg-encode", |b| {
+        b.iter(|| record_trace(&enc, &img).expect("trace"))
+    });
+
+    let dummy = DummySbox::new(1024);
+    g.bench_function("trace/dummy-1k-threads", |b| {
+        b.iter(|| record_trace(&dummy, &7).expect("trace"))
+    });
+    g.finish();
+}
+
+fn bench_evidence_and_tests(c: &mut Criterion) {
+    let mut g = quick(c);
+
+    let aes = AesTTable::new(32);
+    let fixed: Vec<_> = (0..20)
+        .map(|_| record_trace(&aes, &[1u8; 16]).expect("trace"))
+        .collect();
+    let random: Vec<_> = (0..20)
+        .map(|s| record_trace(&aes, &aes.random_input(s)).expect("trace"))
+        .collect();
+
+    g.bench_function("evidence/merge-20-aes-traces", |b| {
+        b.iter(|| Evidence::from_traces(fixed.iter().cloned()))
+    });
+
+    let e_fix = Evidence::from_traces(fixed.iter().cloned());
+    let e_rnd = Evidence::from_traces(random.iter().cloned());
+    let cfg = AnalysisConfig::default();
+    g.bench_function("tests/ks-leakage-test-aes", |b| {
+        b.iter(|| leakage_test(&e_fix, &e_rnd, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_collection, bench_evidence_and_tests);
+criterion_main!(benches);

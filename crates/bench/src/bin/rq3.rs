@@ -1,0 +1,113 @@
+//! Regenerates the RQ3 comparison: are existing tools applicable to CUDA
+//! applications?
+//!
+//! * **DATA (host-only)**: sees CUDA API calls only — catches the
+//!   `Tensor.__repr__` kernel leak, blind to AES's in-kernel data flow.
+//! * **DATA (per-thread)**: would see device leaks but its trace memory
+//!   grows linearly with the thread count.
+//! * **haybale-pitchfork-style static IR analysis**: flags thread-id-
+//!   indexed accesses and guard branches on leak-free kernels — the false
+//!   positives the paper describes.
+//!
+//! ```text
+//! cargo run --release -p owl-bench --bin rq3
+//! ```
+
+use owl_baselines::static_ir::{analyze_kernel, FindingKind};
+use owl_baselines::{host_only_detect, record_per_thread};
+use owl_core::{detect, record_trace, OwlConfig, TracedProgram, Verdict};
+use owl_workloads::aes::AesTTable;
+use owl_workloads::dummy::DummySbox;
+use owl_workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("RQ3 — applicability of existing tools to CUDA applications");
+    println!();
+
+    // ---- DATA on the host side -------------------------------------------
+    println!("[DATA, host-only observation]");
+    let aes = AesTTable::new(32);
+    let keys = [[0u8; 16], [0xff; 16], *b"owl-sca-detector"];
+    let host = host_only_detect(&aes, &keys)?;
+    println!(
+        "  AES T-table: host sequences differ = {} (Owl finds the in-kernel data-flow leak)",
+        host.host_sequences_differ
+    );
+    let f = TorchFunction::new(TorchOpKind::TensorRepr);
+    let inputs = [
+        TorchInput::Tensor(Tensor::zeros([owl_workloads::torch::function::VEC_N])),
+        f.random_input(1),
+    ];
+    let host = host_only_detect(&f, &inputs)?;
+    println!(
+        "  Tensor.__repr__: host sequences differ = {} (kernel leaks originate in host code)",
+        host.host_sequences_differ
+    );
+
+    // ---- DATA per-thread scalability ---------------------------------------
+    println!();
+    println!("[DATA, per-thread tracing] memory for one run:");
+    println!("  {:>9} {:>14} {:>14} {:>8}", "threads", "owl", "per-thread", "ratio");
+    for elems in [256usize, 4096, 65536] {
+        let d = DummySbox::new(elems);
+        let owl_bytes = record_trace(&d, &1)?.size_bytes();
+        let pt_bytes = record_per_thread(&d, &1)?.size_bytes();
+        println!(
+            "  {:>9} {:>14} {:>14} {:>7.1}x",
+            elems,
+            owl_bench::fmt_bytes(owl_bytes),
+            owl_bench::fmt_bytes(pt_bytes),
+            pt_bytes as f64 / owl_bytes as f64
+        );
+    }
+
+    // ---- Static IR analysis -------------------------------------------------
+    println!();
+    println!("[haybale-pitchfork-style static IR analysis] on leak-free kernels:");
+    let mut total_findings = 0usize;
+    let mut owl_clean = 0usize;
+    for kind in [
+        TorchOpKind::Relu,
+        TorchOpKind::Sigmoid,
+        TorchOpKind::AvgPool2d,
+        TorchOpKind::MaxPool2d,
+        TorchOpKind::Linear,
+    ] {
+        let f = TorchFunction::new(kind);
+        let inputs: Vec<TorchInput> = (0..3).map(|s| f.random_input(100 + s)).collect();
+        let owl_verdict = detect(&f, &inputs, &OwlConfig { runs: 30, ..OwlConfig::default() })?
+            .verdict;
+        if owl_verdict != Verdict::Leaky {
+            owl_clean += 1;
+        }
+        // Analyse the op's actual kernels statically.
+        let findings = f
+            .kernels()
+            .iter()
+            .map(|k| analyze_kernel(k).findings.len())
+            .sum::<usize>();
+        total_findings += findings;
+        println!(
+            "  {:<12} owl: {:?}, static findings: {findings}",
+            kind.label(),
+            owl_verdict
+        );
+    }
+    println!(
+        "  => {owl_clean}/5 clean under Owl; {total_findings} static findings on the same kernels \
+         (all false positives)"
+    );
+    println!();
+    println!("[breakdown of the false-positive mechanism] relu kernel:");
+    let relu_fn = TorchFunction::new(TorchOpKind::Relu);
+    let report = analyze_kernel(&relu_fn.kernels()[0]);
+    println!(
+        "  data-address: {}, tid-address: {}, data-branch: {}, tid-branch: {}",
+        report.count(FindingKind::DataAddress),
+        report.count(FindingKind::TidAddress),
+        report.count(FindingKind::DataBranch),
+        report.count(FindingKind::TidBranch),
+    );
+    println!("  (tid-derived addressing and `tid < n` guards are idiomatic CUDA, not leaks)");
+    Ok(())
+}

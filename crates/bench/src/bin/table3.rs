@@ -1,0 +1,126 @@
+//! Regenerates Table III: leaks detected by Owl per workload.
+//!
+//! ```text
+//! cargo run --release -p owl-bench --bin table3 [--runs N]
+//! ```
+//!
+//! Paper reference (counts depend on implementation granularity; the
+//! *shape* — which workloads leak, through which channel — is the claim):
+//!
+//! | Programs     | Kernel leaks | D.F. leaks | C.F. leaks |
+//! |--------------|--------------|------------|------------|
+//! | Libgpucrypto | 0/0          | 66/69      | 7/7        |
+//! | PyTorch      | 8/8          | 8/11       | 6/8        |
+//! | nvJPEG enc.  | 0            | 45         | 98         |
+//! | nvJPEG dec.  | —            | none       | none       |
+
+use owl_bench::leak_row;
+use owl_core::TracedProgram;
+use owl_workloads::aes::{AesScan, AesTTable};
+use owl_workloads::histogram::{HistogramDirect, HistogramOblivious};
+use owl_workloads::jpeg::{synthetic_image, JpegDecode, JpegEncode, JpegEncodeFixedLength};
+use owl_workloads::mlp::{MlpHiddenWidth, WIDTHS};
+use owl_workloads::coalescing::CoalescingStride;
+use owl_workloads::render::GlyphRender;
+use owl_workloads::rsa::{RsaLadder, RsaSquareMultiply};
+use owl_workloads::search::{BinarySearchEarlyExit, BinarySearchFixedDepth};
+use owl_workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
+
+fn runs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--runs" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--runs N");
+        }
+    }
+    100 // the paper's setting
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runs = runs_from_args();
+    println!("Table III — leaks detected by Owl ({runs} fixed + {runs} random runs, alpha = 0.95)");
+    println!("{:-<78}", "");
+    println!(
+        "{:<34} {:>7} {:>7} {:>7}   verdict",
+        "program / function", "kernel", "d.f.", "c.f."
+    );
+    println!("{:-<78}", "");
+
+    let mut rows = Vec::new();
+
+    // --- Libgpucrypto ----------------------------------------------------
+    let keys = [[0u8; 16], [0xff; 16], *b"owl-sca-detector", [0x3c; 16]];
+    let aes = AesTTable::new(32);
+    rows.push(leak_row("libgpucrypto/aes128-ttable", &aes, &keys, runs)?.0);
+
+    let scan = AesScan::with_rounds(32, 2);
+    rows.push(leak_row("libgpucrypto/aes128-scan (ct)", &scan, &keys[..3], runs.min(15))?.0);
+
+    let exps = [0x8000_0001u64, 0xffff_ffff, 0x0f0f_0f0f, 3];
+    let rsa = RsaSquareMultiply::new(32);
+    rows.push(leak_row("libgpucrypto/rsa-sqm", &rsa, &exps, runs)?.0);
+    let ladder = RsaLadder::new(32);
+    rows.push(leak_row("libgpucrypto/rsa-ladder (ct)", &ladder, &exps, runs.min(15))?.0);
+
+    // --- PyTorch stand-in --------------------------------------------------
+    for kind in TorchOpKind::ALL {
+        let f = TorchFunction::new(kind);
+        let mut inputs: Vec<TorchInput> = (0..4).map(|s| f.random_input(9000 + s)).collect();
+        if kind == TorchOpKind::TensorRepr {
+            inputs.push(TorchInput::Tensor(Tensor::zeros([
+                owl_workloads::torch::function::VEC_N,
+            ])));
+        }
+        rows.push(leak_row(&format!("pytorch/{}", kind.label()), &f, &inputs, runs)?.0);
+    }
+
+    // --- nvJPEG stand-in ---------------------------------------------------
+    let enc = JpegEncode::new(16, 16);
+    let images: Vec<Vec<u8>> = (0..4).map(|s| synthetic_image(s, 16, 16)).collect();
+    rows.push(leak_row("nvjpeg/encode", &enc, &images, runs)?.0);
+
+    let dec = JpegDecode::new(16, 16);
+    let coeffs: Vec<Vec<i32>> = (0..4).map(|s| dec.random_input(s)).collect();
+    rows.push(leak_row("nvjpeg/decode", &dec, &coeffs, runs.min(15))?.0);
+
+    let fixed = JpegEncodeFixedLength::new(16, 16);
+    rows.push(leak_row("nvjpeg/encode-fixed (ct)", &fixed, &images, runs.min(15))?.0);
+
+    // --- extended targets (beyond the paper's table) -----------------------
+    let hist = HistogramDirect::new(64);
+    let hist_inputs: Vec<Vec<u8>> = (0..4).map(|s| hist.random_input(40 + s)).collect();
+    rows.push(leak_row("histogram/direct", &hist, &hist_inputs, runs)?.0);
+    let obl = HistogramOblivious::new(64);
+    let obl_inputs: Vec<Vec<u8>> = (0..4).map(|s| obl.random_input(50 + s)).collect();
+    rows.push(leak_row("histogram/oblivious (ct)", &obl, &obl_inputs, runs.min(15))?.0);
+
+    let bs = BinarySearchEarlyExit::new(32);
+    let bs_keys: Vec<u64> = (0..5).map(|s| bs.random_input(60 + s)).collect();
+    rows.push(leak_row("search/early-exit", &bs, &bs_keys, runs)?.0);
+    let bf = BinarySearchFixedDepth::new(32);
+    let bf_keys: Vec<u64> = (0..5).map(|s| bf.random_input(70 + s)).collect();
+    rows.push(leak_row("search/fixed-depth", &bf, &bf_keys, runs)?.0);
+
+    let mlp = MlpHiddenWidth::new();
+    rows.push(leak_row("mlp/hidden-width", &mlp, &WIDTHS.map(|w| w), runs)?.0);
+
+    let render = GlyphRender::new();
+    let texts: Vec<Vec<u8>> = (0..4).map(|s| render.random_input(80 + s)).collect();
+    rows.push(leak_row("render/glyph-blit", &render, &texts, runs)?.0);
+
+    let coal = CoalescingStride::new();
+    rows.push(leak_row("coalescing/strided-gather", &coal, &[1, 33, 65, 97], runs)?.0);
+
+    for r in &rows {
+        println!(
+            "{:<34} {:>7} {:>7} {:>7}   {}",
+            r.name, r.kernel, r.data_flow, r.control_flow, r.verdict
+        );
+    }
+    println!("{:-<78}", "");
+    println!("{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` print the rows of the corresponding paper
+//! artefact; the Criterion benches in `benches/` time the primitive
+//! operations behind Table IV. See `EXPERIMENTS.md` at the workspace root
+//! for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use owl_core::{detect, Detection, LeakKind, OwlConfig, TracedProgram};
+
+/// One row of a Table III-style leak summary.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LeakRow {
+    /// Workload name.
+    pub name: String,
+    /// Kernel leaks found.
+    pub kernel: usize,
+    /// Device data-flow leaks found.
+    pub data_flow: usize,
+    /// Device control-flow leaks found.
+    pub control_flow: usize,
+    /// The verdict string.
+    pub verdict: String,
+}
+
+/// Runs detection and summarises it as a [`LeakRow`].
+///
+/// # Errors
+///
+/// Propagates detection failures.
+pub fn leak_row<P: TracedProgram>(
+    name: &str,
+    program: &P,
+    inputs: &[P::Input],
+    runs: usize,
+) -> Result<(LeakRow, Detection<P::Input>), owl_core::DetectError> {
+    let detection = detect(
+        program,
+        inputs,
+        &OwlConfig {
+            runs,
+            ..OwlConfig::default()
+        },
+    )?;
+    Ok((
+        LeakRow {
+            name: name.to_string(),
+            kernel: detection.report.count(LeakKind::Kernel),
+            data_flow: detection.report.count(LeakKind::DataFlow),
+            control_flow: detection.report.count(LeakKind::ControlFlow),
+            verdict: format!("{:?}", detection.verdict),
+        },
+        detection,
+    ))
+}
+
+/// Formats a byte count like the paper's MB columns.
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.2} KB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_scales() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MB");
+    }
+
+    #[test]
+    fn leak_row_summarises_detection() {
+        let d = owl_workloads::dummy::DummySbox::new(64);
+        let (row, _) = leak_row("dummy", &d, &[1, 2, 3], 30).unwrap();
+        assert_eq!(row.name, "dummy");
+        assert!(row.data_flow >= 1, "{row:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Detector errors.
+
+use owl_host::HostError;
+
+/// An error raised while recording traces or running detection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// The program under test failed.
+    Host(HostError),
+    /// The number of device-side kernel graphs did not match the number of
+    /// host-side launch events — the instrumentation contract was violated.
+    TraceMismatch {
+        /// Host-side launch count.
+        launches: usize,
+        /// Device-side graph count.
+        graphs: usize,
+    },
+    /// Detection was asked to run with no user inputs.
+    NoInputs,
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::Host(e) => write!(f, "program under test failed: {e}"),
+            DetectError::TraceMismatch { launches, graphs } => write!(
+                f,
+                "instrumentation mismatch: {launches} host launches vs {graphs} device graphs"
+            ),
+            DetectError::NoInputs => write!(f, "detection requires at least one user input"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Host(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HostError> for DetectError {
+    fn from(e: HostError) -> Self {
+        DetectError::Host(e)
+    }
+}

@@ -1,0 +1,215 @@
+//! Evidence assembly (paper §VII-A).
+//!
+//! Repeated executions of the program — with fixed inputs for `E_fix`,
+//! random inputs for `E_rnd` — are merged into a single [`Evidence`]
+//! structure: kernel-invocation sequences are aligned with the Myers
+//! algorithm, aligned invocations merge their A-DCFGs and bump presence
+//! counts, and unaligned invocations are added as-is.
+
+use crate::trace::{ConfigTuple, InvocationKey, MallocRecord, ProgramTrace};
+use owl_dcfg::diff::{myers_align, AlignOp};
+use owl_dcfg::Adcfg;
+use std::collections::BTreeMap;
+
+/// One aligned kernel-invocation position across the merged runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceInvocation {
+    /// The invocation-site identity.
+    pub key: InvocationKey,
+    /// All launch geometries observed at this position.
+    pub configs: std::collections::BTreeSet<ConfigTuple>,
+    /// Merged A-DCFG over all runs containing this position.
+    pub adcfg: Adcfg,
+    /// Number of runs in which this position occurred.
+    pub present_runs: u64,
+}
+
+/// Merged statistical features of repeated program runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Evidence {
+    /// Number of runs merged.
+    pub runs: u64,
+    /// Aligned invocation positions, in (aligned) program order.
+    pub invocations: Vec<EvidenceInvocation>,
+    /// Per distinct allocation record, the total count over all runs.
+    pub mallocs: BTreeMap<MallocRecord, u64>,
+}
+
+impl Evidence {
+    /// Builds evidence from an iterator of traces.
+    pub fn from_traces(traces: impl IntoIterator<Item = ProgramTrace>) -> Self {
+        let mut ev = Evidence::default();
+        for t in traces {
+            ev.merge_trace(t);
+        }
+        ev
+    }
+
+    /// Merges one more run into the evidence (§VII-A steps 1–3).
+    pub fn merge_trace(&mut self, trace: ProgramTrace) {
+        self.runs += 1;
+        for m in &trace.mallocs {
+            *self.mallocs.entry(*m).or_insert(0) += 1;
+        }
+
+        // Align the current evidence sequence with the new run's sequence
+        // on invocation keys.
+        let ours: Vec<&InvocationKey> = self.invocations.iter().map(|i| &i.key).collect();
+        let theirs: Vec<&InvocationKey> = trace.invocations.iter().map(|i| &i.key).collect();
+        let ops = myers_align(&ours, &theirs);
+
+        let mut old = std::mem::take(&mut self.invocations).into_iter();
+        let mut new = trace.invocations.into_iter();
+        let mut merged = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                AlignOp::Match(_, _) => {
+                    let mut ours = old.next().expect("alignment covers evidence");
+                    let theirs = new.next().expect("alignment covers trace");
+                    debug_assert_eq!(ours.key, theirs.key);
+                    ours.adcfg.merge(&theirs.adcfg);
+                    ours.configs.insert(theirs.config);
+                    ours.present_runs += 1;
+                    merged.push(ours);
+                }
+                AlignOp::DeleteA(_) => {
+                    merged.push(old.next().expect("alignment covers evidence"));
+                }
+                AlignOp::InsertB(_) => {
+                    let inv = new.next().expect("alignment covers trace");
+                    merged.push(EvidenceInvocation {
+                        key: inv.key,
+                        configs: [inv.config].into_iter().collect(),
+                        adcfg: inv.adcfg,
+                        present_runs: 1,
+                    });
+                }
+            }
+        }
+        self.invocations = merged;
+    }
+
+    /// Per-position presence histogram: how many runs contained this
+    /// aligned invocation (1) versus not (0) — the sample the kernel-leak
+    /// KS test consumes.
+    pub fn presence_histogram(&self, position: usize) -> owl_stats::Histogram {
+        let inv = &self.invocations[position];
+        let mut h = owl_stats::Histogram::new();
+        h.record(1, inv.present_runs);
+        h.record(0, self.runs - inv.present_runs);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::KernelInvocation;
+    use owl_dcfg::AdcfgBuilder;
+    use owl_host::CallSite;
+
+    fn key(line: u32, kernel: &str) -> InvocationKey {
+        InvocationKey {
+            call_site: CallSite {
+                file: "f.rs",
+                line,
+                column: 1,
+            },
+            kernel: kernel.into(),
+        }
+    }
+
+    fn inv(line: u32, kernel: &str, walk: &[u32]) -> KernelInvocation {
+        let mut b = AdcfgBuilder::new();
+        for &bb in walk {
+            b.enter_block(0, bb);
+        }
+        KernelInvocation {
+            key: key(line, kernel),
+            config: ((1, 1, 1), (32, 1, 1)),
+            adcfg: b.finish(),
+        }
+    }
+
+    fn trace(invs: Vec<KernelInvocation>) -> ProgramTrace {
+        ProgramTrace {
+            invocations: invs,
+            mallocs: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_runs_merge_completely() {
+        let make = || trace(vec![inv(1, "a", &[0, 1]), inv(2, "b", &[0])]);
+        let ev = Evidence::from_traces([make(), make(), make()]);
+        assert_eq!(ev.runs, 3);
+        assert_eq!(ev.invocations.len(), 2);
+        assert!(ev.invocations.iter().all(|i| i.present_runs == 3));
+        // Edge counts in the merged graph tripled.
+        assert_eq!(ev.invocations[0].adcfg.edge(0, 1), 3);
+    }
+
+    #[test]
+    fn extra_invocation_in_some_runs_stays_separate() {
+        let base = || trace(vec![inv(1, "a", &[0]), inv(3, "c", &[0])]);
+        let with_extra = || trace(vec![inv(1, "a", &[0]), inv(2, "b", &[0]), inv(3, "c", &[0])]);
+        let ev = Evidence::from_traces([base(), with_extra(), base(), with_extra()]);
+        assert_eq!(ev.runs, 4);
+        assert_eq!(ev.invocations.len(), 3);
+        let b_pos = ev
+            .invocations
+            .iter()
+            .position(|i| i.key.kernel == "b")
+            .unwrap();
+        assert_eq!(ev.invocations[b_pos].present_runs, 2);
+        let h = ev.presence_histogram(b_pos);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(0), 2);
+    }
+
+    #[test]
+    fn differing_configs_are_collected() {
+        let mut t1 = trace(vec![inv(1, "a", &[0])]);
+        t1.invocations[0].config = ((1, 1, 1), (32, 1, 1));
+        let mut t2 = trace(vec![inv(1, "a", &[0])]);
+        t2.invocations[0].config = ((2, 1, 1), (32, 1, 1));
+        let ev = Evidence::from_traces([t1, t2]);
+        assert_eq!(ev.invocations[0].configs.len(), 2);
+    }
+
+    #[test]
+    fn mallocs_accumulate() {
+        let m = MallocRecord {
+            call_site: CallSite {
+                file: "f.rs",
+                line: 9,
+                column: 9,
+            },
+            size: 64,
+        };
+        let t = || ProgramTrace {
+            invocations: vec![],
+            mallocs: vec![m, m],
+        };
+        let ev = Evidence::from_traces([t(), t()]);
+        assert_eq!(ev.mallocs[&m], 4);
+    }
+
+    #[test]
+    fn empty_evidence() {
+        let ev = Evidence::from_traces(std::iter::empty());
+        assert_eq!(ev.runs, 0);
+        assert!(ev.invocations.is_empty());
+    }
+
+    #[test]
+    fn merge_order_of_identical_suffix_is_stable() {
+        // a,c then a,b,c: b must land between a and c.
+        let ev = Evidence::from_traces([
+            trace(vec![inv(1, "a", &[0]), inv(3, "c", &[0])]),
+            trace(vec![inv(1, "a", &[0]), inv(2, "b", &[0]), inv(3, "c", &[0])]),
+        ]);
+        let names: Vec<&str> = ev.invocations.iter().map(|i| i.key.kernel.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

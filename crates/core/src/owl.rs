@@ -1,0 +1,220 @@
+//! The Owl detector: the three phases end to end.
+
+use crate::analysis::{leakage_test, AnalysisConfig, TestMethod};
+use crate::error::DetectError;
+use crate::evidence::Evidence;
+use crate::filter::{filter_traces, FilterOutcome};
+use crate::program::TracedProgram;
+use crate::record::record_trace_on;
+use owl_host::Device;
+use crate::report::LeakReport;
+use std::time::{Duration, Instant};
+
+/// Detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OwlConfig {
+    /// Executions per evidence side (the paper uses 100 fixed + 100
+    /// random).
+    pub runs: usize,
+    /// KS confidence level (the paper uses 0.95).
+    pub alpha: f64,
+    /// Base seed for drawing random inputs (reproducibility).
+    pub seed: u64,
+    /// Run the leakage analysis even when filtering found a single input
+    /// class (the paper would stop and declare the program leak-free).
+    pub force_analysis: bool,
+    /// The distribution test (KS unless running the Welch ablation).
+    pub method: TestMethod,
+    /// SIMT warp width used for every recorded execution (32 = NVIDIA
+    /// warps, 64 = AMD-style wavefronts).
+    pub warp_size: u32,
+    /// When set, every recording runs on a device with simulated ASLR
+    /// derived from this seed (a *different* layout per run), exercising
+    /// the tracer's address normalisation end to end.
+    pub aslr_seed: Option<u64>,
+}
+
+impl Default for OwlConfig {
+    fn default() -> Self {
+        OwlConfig {
+            runs: 100,
+            alpha: 0.95,
+            seed: 0x0071_5eed,
+            force_analysis: false,
+            method: TestMethod::Ks,
+            warp_size: owl_gpu::grid::WARP_SIZE,
+            aslr_seed: None,
+        }
+    }
+}
+
+/// Cost accounting for one detection, mirroring the columns of the paper's
+/// Table IV.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Wall time of the trace-recording phase (filtering inputs).
+    pub trace_collection_time: Duration,
+    /// Mean bytes per recorded trace.
+    pub trace_bytes: usize,
+    /// Number of traces recorded for evidence (fixed + random).
+    pub evidence_traces: usize,
+    /// Wall time to record + merge the evidence.
+    pub evidence_time: Duration,
+    /// Wall time of the distribution tests.
+    pub test_time: Duration,
+    /// Peak resident trace size proxy: the largest evidence footprint held
+    /// at once, in bytes.
+    pub peak_evidence_bytes: usize,
+    /// Total wall time of the detection.
+    pub total_time: Duration,
+}
+
+/// The detector's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// All user inputs produced identical traces (§VI: leak-free).
+    LeakFree,
+    /// Differences existed but none survived the distribution tests: they
+    /// are attributed to non-deterministic execution noise.
+    NoInputDependence,
+    /// Input-dependent leaks were found.
+    Leaky,
+}
+
+/// The complete result of one detection.
+#[derive(Debug, Clone)]
+pub struct Detection<I> {
+    /// The input classes from the duplicates-removing phase.
+    pub filter: FilterOutcome<I>,
+    /// The merged leak report over all classes.
+    pub report: LeakReport,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Cost accounting.
+    pub stats: PhaseStats,
+}
+
+/// Runs the full Owl pipeline on `program` with the given user inputs.
+///
+/// Phase 1 records one trace per user input; phase 2 groups them into
+/// classes (identical traces ⇒ same class); phase 3, for each class
+/// representative, merges `runs` fixed-input executions into `E_fix`,
+/// merges `runs` random-input executions into a shared `E_rnd`, and runs
+/// the leak tests. Reports of all classes are merged, deduplicated by code
+/// location.
+///
+/// # Errors
+///
+/// Returns [`DetectError::NoInputs`] when `user_inputs` is empty, or any
+/// error from the program under test.
+///
+/// # Example
+///
+/// See the crate-level documentation.
+pub fn detect<P: TracedProgram>(
+    program: &P,
+    user_inputs: &[P::Input],
+    config: &OwlConfig,
+) -> Result<Detection<P::Input>, DetectError> {
+    if user_inputs.is_empty() {
+        return Err(DetectError::NoInputs);
+    }
+    // Per-run recording, optionally under a fresh ASLR layout each run.
+    let mut run_counter = 0u64;
+    let mut record = |program: &P, input: &P::Input| {
+        run_counter += 1;
+        let mut device = match config.aslr_seed {
+            None => Device::new(),
+            Some(seed) => Device::with_aslr(seed.wrapping_add(run_counter)),
+        };
+        device.set_launch_options(owl_gpu::exec::LaunchOptions {
+            warp_size: config.warp_size,
+            ..owl_gpu::exec::LaunchOptions::default()
+        });
+        record_trace_on(program, input, &mut device)
+    };
+    let t_total = Instant::now();
+
+    // Phase 1 + 2: record and filter.
+    let t0 = Instant::now();
+    let mut traces = Vec::with_capacity(user_inputs.len());
+    for input in user_inputs {
+        traces.push(record(program, input)?);
+    }
+    let trace_bytes = traces.iter().map(|t| t.size_bytes()).sum::<usize>() / traces.len().max(1);
+    let filter = filter_traces(user_inputs, traces);
+    let trace_collection_time = t0.elapsed();
+
+    if filter.single_class() && !config.force_analysis {
+        return Ok(Detection {
+            filter,
+            report: LeakReport::default(),
+            verdict: Verdict::LeakFree,
+            stats: PhaseStats {
+                trace_collection_time,
+                trace_bytes,
+                total_time: t_total.elapsed(),
+                ..Default::default()
+            },
+        });
+    }
+
+    // Phase 3: evidence. The random evidence is shared across classes.
+    let t1 = Instant::now();
+    let mut rnd = Evidence::default();
+    for i in 0..config.runs {
+        let input = program.random_input(config.seed.wrapping_add(i as u64));
+        rnd.merge_trace(record(program, &input)?);
+    }
+    let mut fixes = Vec::with_capacity(filter.classes.len());
+    for class in &filter.classes {
+        let mut fix = Evidence::default();
+        for _ in 0..config.runs {
+            fix.merge_trace(record(program, &class.representative)?);
+        }
+        fixes.push(fix);
+    }
+    let evidence_time = t1.elapsed();
+    let peak_evidence_bytes = evidence_bytes(&rnd)
+        + fixes.iter().map(evidence_bytes).max().unwrap_or(0);
+
+    // Distribution tests.
+    let t2 = Instant::now();
+    let analysis_config = AnalysisConfig {
+        alpha: config.alpha,
+        method: config.method,
+    };
+    let mut report = LeakReport::default();
+    for fix in &fixes {
+        report.merge(&leakage_test(fix, &rnd, &analysis_config));
+    }
+    let test_time = t2.elapsed();
+
+    let verdict = if report.is_clean() {
+        Verdict::NoInputDependence
+    } else {
+        Verdict::Leaky
+    };
+    Ok(Detection {
+        stats: PhaseStats {
+            trace_collection_time,
+            trace_bytes,
+            evidence_traces: config.runs * (1 + filter.classes.len()),
+            evidence_time,
+            test_time,
+            peak_evidence_bytes,
+            total_time: t_total.elapsed(),
+        },
+        filter,
+        report,
+        verdict,
+    })
+}
+
+fn evidence_bytes(e: &Evidence) -> usize {
+    e.invocations
+        .iter()
+        .map(|i| i.adcfg.size_bytes())
+        .sum::<usize>()
+        + e.mallocs.len() * 32
+}

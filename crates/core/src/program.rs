@@ -1,0 +1,36 @@
+//! The interface between the detector and the application under test.
+
+use owl_host::{Device, HostError};
+
+/// A CUDA-style application that Owl can drive.
+///
+/// Implementations own the host code of the application: they allocate
+/// device memory, copy inputs, and launch kernels on the provided
+/// [`Device`]. Owl runs the program repeatedly — with user-provided inputs
+/// in the filtering phase and with fixed/random inputs in the leakage
+/// analysis phase — and observes the traces through instrumentation, never
+/// through this trait.
+///
+/// `run` must treat `input` as the *secret*: everything else (sizes,
+/// public parameters) should be fixed by the implementation so that the
+/// differential analysis isolates secret dependence.
+pub trait TracedProgram {
+    /// The secret-input type.
+    type Input: Clone;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Executes the program once over `input` on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`HostError`] from the runtime; the detector aborts
+    /// the phase on the first error.
+    fn run(&self, device: &mut Device, input: &Self::Input) -> Result<(), HostError>;
+
+    /// Draws a random secret input from the program's input space.
+    ///
+    /// Must be deterministic in `seed` so detection runs are reproducible.
+    fn random_input(&self, seed: u64) -> Self::Input;
+}

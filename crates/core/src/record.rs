@@ -1,0 +1,204 @@
+//! Phase 1 — trace recording (paper §V).
+//!
+//! One recorded execution = a fresh device, the Owl tracer attached, the
+//! program run once, and the host/device observations zipped into a
+//! [`ProgramTrace`]: kernel launches (host side, with call-site identity)
+//! paired with their A-DCFGs (device side), plus allocation records.
+
+use crate::error::DetectError;
+use crate::program::TracedProgram;
+use crate::trace::{InvocationKey, KernelInvocation, MallocRecord, ProgramTrace};
+use crate::tracer::OwlTracer;
+use owl_host::{Device, HostEvent};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Records one execution of `program` over `input`.
+///
+/// Every recording uses a fresh [`Device`], so traces are independent of
+/// prior executions (the paper restarts the target per run).
+///
+/// # Errors
+///
+/// Returns [`DetectError::Host`] if the program fails, or
+/// [`DetectError::TraceMismatch`] if instrumentation lost events.
+pub fn record_trace<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+) -> Result<ProgramTrace, DetectError> {
+    let mut device = Device::new();
+    record_trace_on(program, input, &mut device)
+}
+
+/// [`record_trace`] on a caller-provided device (e.g. one with simulated
+/// ASLR enabled, to exercise the normalisation path).
+///
+/// # Errors
+///
+/// See [`record_trace`].
+pub fn record_trace_on<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    device: &mut Device,
+) -> Result<ProgramTrace, DetectError> {
+    let tracer = Rc::new(RefCell::new(OwlTracer::new(device.alloc_table())));
+    device.attach_hook(tracer.clone());
+    let run_result = program.run(device, input);
+    device.detach_hook();
+    run_result?;
+
+    let graphs = tracer.borrow_mut().take_graphs();
+    let mut graphs = graphs.into_iter();
+    let mut invocations = Vec::new();
+    let mut mallocs = Vec::new();
+    let mut launches = 0usize;
+    for event in device.events() {
+        match event {
+            HostEvent::Launch {
+                call_site,
+                kernel,
+                config,
+                ..
+            } => {
+                launches += 1;
+                let adcfg = graphs.next().ok_or(DetectError::TraceMismatch {
+                    launches,
+                    graphs: launches - 1,
+                })?;
+                invocations.push(KernelInvocation {
+                    key: InvocationKey {
+                        call_site: *call_site,
+                        kernel: kernel.clone(),
+                    },
+                    config: (
+                        (config.grid.x, config.grid.y, config.grid.z),
+                        (config.block.x, config.block.y, config.block.z),
+                    ),
+                    adcfg,
+                });
+            }
+            HostEvent::Malloc {
+                call_site, size, ..
+            } => mallocs.push(MallocRecord {
+                call_site: *call_site,
+                size: *size,
+            }),
+            HostEvent::Free { .. } => {}
+        }
+    }
+    let leftover = graphs.count();
+    if leftover > 0 {
+        return Err(DetectError::TraceMismatch {
+            launches,
+            graphs: launches + leftover,
+        });
+    }
+    Ok(ProgramTrace {
+        invocations,
+        mallocs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_gpu::build::KernelBuilder;
+    use owl_gpu::grid::LaunchConfig;
+    use owl_gpu::isa::{CmpOp, MemWidth, SpecialReg};
+    use owl_gpu::KernelProgram;
+    use owl_host::HostError;
+
+    /// A toy program with a secret-dependent host decision: launches a
+    /// second kernel only when the secret is odd.
+    struct Toy {
+        k1: KernelProgram,
+        k2: KernelProgram,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            let mk = |name: &str| {
+                let b = KernelBuilder::new(name);
+                let buf = b.param(0);
+                let secret = b.param(1);
+                let tid = b.special(SpecialReg::GlobalTid);
+                // The whole warp indexes with the secret (like a shared
+                // AES key): the aggregated histogram stays secret-dependent.
+                let _ = tid;
+                let addr = b.add(buf, b.mul(b.rem(secret, 32u64), 8u64));
+                let v = b.load_global(addr, MemWidth::B8);
+                // A secret-dependent branch, uniform across the warp.
+                let p = b.setp(CmpOp::GtU, b.and(secret, 1u64), 0u64);
+                b.if_then(p, |b| {
+                    b.store_global(addr, b.add(v, 1u64), MemWidth::B8);
+                });
+                b.finish()
+            };
+            Toy {
+                k1: mk("toy_k1"),
+                k2: mk("toy_k2"),
+            }
+        }
+    }
+
+    impl TracedProgram for Toy {
+        type Input = u64;
+
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn run(&self, device: &mut Device, input: &u64) -> Result<(), HostError> {
+            let buf = device.malloc(8 * 32);
+            device.launch(&self.k1, LaunchConfig::new(1u32, 32u32), &[buf.addr(), *input])?;
+            if input % 2 == 1 {
+                device.launch(&self.k2, LaunchConfig::new(1u32, 32u32), &[buf.addr(), *input])?;
+            }
+            Ok(())
+        }
+
+        fn random_input(&self, seed: u64) -> u64 {
+            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        }
+    }
+
+    #[test]
+    fn trace_structure_reflects_host_behaviour() {
+        let toy = Toy::new();
+        let even = record_trace(&toy, &2).unwrap();
+        let odd = record_trace(&toy, &3).unwrap();
+        assert_eq!(even.invocations.len(), 1);
+        assert_eq!(odd.invocations.len(), 2);
+        assert_eq!(even.mallocs.len(), 1);
+        assert_eq!(odd.invocations[1].key.kernel, "toy_k2");
+    }
+
+    #[test]
+    fn equal_inputs_equal_traces() {
+        let toy = Toy::new();
+        let a = record_trace(&toy, &6).unwrap();
+        let b = record_trace(&toy, &6).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_secrets_different_graphs() {
+        let toy = Toy::new();
+        let a = record_trace(&toy, &2).unwrap();
+        let b = record_trace(&toy, &4).unwrap();
+        // Same kernel sequence, but the table index differs → different
+        // address histograms.
+        assert_eq!(a.invocations.len(), b.invocations.len());
+        assert_ne!(a.invocations[0].adcfg, b.invocations[0].adcfg);
+    }
+
+    #[test]
+    fn recording_is_aslr_invariant() {
+        let toy = Toy::new();
+        let plain = record_trace(&toy, &5).unwrap();
+        let mut dev = Device::with_aslr(42);
+        let aslr = record_trace_on(&toy, &5, &mut dev).unwrap();
+        assert_eq!(plain, aslr);
+    }
+}

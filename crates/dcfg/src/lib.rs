@@ -1,0 +1,19 @@
+//! Attributed dynamic control-flow graphs for the Owl detector.
+//!
+//! This crate implements the paper's central data structure (§V-B): the
+//! **A-DCFG**, a dynamic CFG whose nodes carry per-instruction,
+//! per-visit-ordinal memory-access histograms and whose transitions are
+//! aggregated across all warps of a kernel. It also provides the **Myers
+//! alignment** used to match kernel-invocation sequences when merging
+//! repeated runs into evidence (§VII-A).
+//!
+//! See [`graph::Adcfg`] and [`diff::myers_align`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod graph;
+
+pub use diff::{myers_align, AlignOp};
+pub use graph::{Adcfg, AdcfgBuilder, Node};

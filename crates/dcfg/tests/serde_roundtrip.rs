@@ -1,0 +1,44 @@
+//! Serialization round-trips for the A-DCFG — traces must survive being
+//! written to disk and reloaded for offline analysis.
+
+use owl_dcfg::{Adcfg, AdcfgBuilder};
+
+fn sample_graph() -> Adcfg {
+    let mut b = AdcfgBuilder::new();
+    for w in 0..3u64 {
+        for (i, bb) in [0u32, 1, 2, 1, 3].into_iter().enumerate() {
+            b.enter_block(w, bb);
+            b.record_access(w, 0, [w * 64 + i as u64 * 8]);
+            b.record_cost(w, 0, 1 + (i as u32 % 3));
+        }
+    }
+    b.finish()
+}
+
+#[test]
+fn adcfg_json_roundtrip_is_lossless() {
+    let g = sample_graph();
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: Adcfg = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(g, back);
+}
+
+#[test]
+fn merged_graphs_roundtrip_too() {
+    let mut g = sample_graph();
+    g.merge(&sample_graph());
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: Adcfg = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(g, back);
+    // The merged counts are intact after the round-trip.
+    assert_eq!(back.edge(1, 2), g.edge(1, 2));
+    assert_eq!(back.node(1).unwrap().visits, 12);
+}
+
+#[test]
+fn empty_graph_roundtrips() {
+    let g = Adcfg::new();
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: Adcfg = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(g, back);
+}

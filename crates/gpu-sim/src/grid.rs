@@ -1,0 +1,132 @@
+//! Grid and block geometry (the CUDA `<<<grid, block>>>` configuration).
+
+use serde::{Deserialize, Serialize};
+
+/// Default warp width, matching NVIDIA hardware. Other SIMT widths (e.g.
+/// AMD's 64-lane wavefronts) are supported through
+/// [`LaunchOptions::warp_size`](crate::exec::LaunchOptions).
+pub const WARP_SIZE: u32 = 32;
+
+/// The widest supported warp (a 64-bit activity mask).
+pub const MAX_WARP_SIZE: u32 = 64;
+
+/// A three-dimensional extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    /// Extent in x.
+    pub x: u32,
+    /// Extent in y.
+    pub y: u32,
+    /// Extent in z.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A one-dimensional extent `(x, 1, 1)`.
+    pub fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A two-dimensional extent `(x, y, 1)`.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn total(self) -> u64 {
+        u64::from(self.x) * u64::from(self.y) * u64::from(self.z)
+    }
+
+    /// Decomposes a linear index into `(x, y, z)` coordinates.
+    pub fn unlinearize(self, linear: u64) -> (u32, u32, u32) {
+        let x = (linear % u64::from(self.x)) as u32;
+        let y = ((linear / u64::from(self.x)) % u64::from(self.y)) as u32;
+        let z = (linear / (u64::from(self.x) * u64::from(self.y))) as u32;
+        (x, y, z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3 { x, y, z }
+    }
+}
+
+/// A kernel launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Blocks per grid.
+    pub grid: Dim3,
+    /// Threads per block.
+    pub block: Dim3,
+}
+
+impl LaunchConfig {
+    /// Builds a configuration from anything convertible to [`Dim3`].
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+        }
+    }
+
+    /// Total thread count of the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.total() * self.block.total()
+    }
+
+    /// Warps per block (rounded up to cover a partial warp) at the default
+    /// 32-lane width.
+    pub fn warps_per_block(&self) -> u32 {
+        self.warps_per_block_for(WARP_SIZE)
+    }
+
+    /// Warps per block for an explicit warp width.
+    pub fn warps_per_block_for(&self, warp_size: u32) -> u32 {
+        self.block.total().div_ceil(u64::from(warp_size)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        assert_eq!(Dim3::x(5).total(), 5);
+        assert_eq!(Dim3 { x: 2, y: 3, z: 4 }.total(), 24);
+        let cfg = LaunchConfig::new(4u32, (8u32, 8u32));
+        assert_eq!(cfg.total_threads(), 256);
+        assert_eq!(cfg.warps_per_block(), 2);
+    }
+
+    #[test]
+    fn unlinearize_roundtrip() {
+        let d = Dim3 { x: 3, y: 4, z: 5 };
+        for linear in 0..d.total() {
+            let (x, y, z) = d.unlinearize(linear);
+            assert_eq!(
+                u64::from(x) + u64::from(y) * 3 + u64::from(z) * 12,
+                linear
+            );
+        }
+    }
+
+    #[test]
+    fn partial_warp_rounds_up() {
+        assert_eq!(LaunchConfig::new(1u32, 33u32).warps_per_block(), 2);
+        assert_eq!(LaunchConfig::new(1u32, 1u32).warps_per_block(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! NVBit-style instrumentation hooks.
+//!
+//! NVBit rewrites kernel binaries so that every launched thread calls into
+//! user instrumentation at instrumented points. The simulator produces the
+//! same observable stream through the [`KernelHook`] trait: one callback at
+//! each basic-block entry (per warp — matching Owl's warp-level tracing,
+//! §V-A) and one at each memory-access instruction with the per-lane
+//! addresses.
+
+use crate::grid::{Dim3, LaunchConfig};
+use crate::isa::MemSpace;
+use crate::program::BlockId;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a warp within a launch: the linearised CTA id plus the warp
+/// index inside the CTA (the paper identifies warps "using both warp IDs as
+/// well as block IDs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WarpRef {
+    /// Linearised block (CTA) index within the grid.
+    pub cta: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic read-modify-write.
+    Atomic,
+}
+
+/// One dynamic memory-access event: a single `Ld`/`St` instruction executed
+/// by a warp, with the byte address touched by every participating lane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccessEvent {
+    /// Basic block containing the instruction.
+    pub bb: BlockId,
+    /// Static index of the instruction within its block.
+    pub inst_idx: u32,
+    /// Memory space accessed.
+    pub space: MemSpace,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// `(lane, byte address)` for each lane that executed the access
+    /// (active in the warp mask and passing the instruction's guard).
+    pub lane_addrs: Vec<(u8, u64)>,
+}
+
+/// Bytes per global-memory transaction segment (the coalescing
+/// granularity of NVIDIA hardware).
+pub const COALESCE_SEGMENT: u64 = 32;
+
+/// Number of shared-memory banks.
+pub const SHARED_BANKS: u64 = 32;
+
+impl MemAccessEvent {
+    /// Number of memory transactions this warp access costs under the
+    /// hardware coalescing model: the count of distinct
+    /// [`COALESCE_SEGMENT`]-byte segments touched. The classic
+    /// coalescing side channel (Jiang et al., HPCA'16) observes exactly
+    /// this quantity through timing.
+    pub fn coalesced_transactions(&self) -> u32 {
+        let mut segments: Vec<u64> = self
+            .lane_addrs
+            .iter()
+            .map(|&(_, a)| a / COALESCE_SEGMENT)
+            .collect();
+        segments.sort_unstable();
+        segments.dedup();
+        segments.len() as u32
+    }
+
+    /// Shared-memory bank-conflict degree: the maximum number of lanes
+    /// hitting the same 4-byte-interleaved bank (1 = conflict-free). The
+    /// access serialises into this many cycles on real hardware — another
+    /// timing observable (Jiang et al., TACO'19).
+    pub fn bank_conflict_degree(&self) -> u32 {
+        let mut counts = [0u32; SHARED_BANKS as usize];
+        let mut distinct_words: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        for &(_, a) in &self.lane_addrs {
+            distinct_words.push(a / 4);
+        }
+        distinct_words.sort_unstable();
+        distinct_words.dedup();
+        // Broadcasts (all lanes on one word) are conflict-free; count
+        // distinct words per bank.
+        for w in distinct_words {
+            counts[(w % SHARED_BANKS) as usize] += 1;
+        }
+        counts.iter().copied().max().unwrap_or(0).max(1)
+    }
+
+    /// The microarchitectural cost feature of this access: transactions
+    /// for global memory, bank-conflict degree for shared memory, and 1
+    /// for the uniform-latency spaces.
+    pub fn cost_feature(&self) -> u32 {
+        match self.space {
+            MemSpace::Global => self.coalesced_transactions(),
+            MemSpace::Shared => self.bank_conflict_degree(),
+            MemSpace::Local | MemSpace::Constant | MemSpace::Texture => 1,
+        }
+    }
+}
+
+/// Static information about a launch, passed to begin/end callbacks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchInfo {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launch geometry.
+    pub config: LaunchConfig,
+    /// Number of basic blocks in the kernel (for preallocating per-block
+    /// state in tracers).
+    pub block_count: u32,
+    /// SIMT warp width of this launch.
+    pub warp_size: u32,
+}
+
+impl LaunchInfo {
+    /// Grid dimensions, for convenience.
+    pub fn grid(&self) -> Dim3 {
+        self.config.grid
+    }
+
+    /// Block dimensions, for convenience.
+    pub fn block(&self) -> Dim3 {
+        self.config.block
+    }
+}
+
+/// Instrumentation callbacks, invoked synchronously by the interpreter.
+///
+/// All methods have empty default bodies so hooks implement only what they
+/// observe. An instrumented execution with [`NullHook`] behaves identically
+/// to an uninstrumented one — dynamic binary instrumentation must not
+/// perturb program semantics.
+pub trait KernelHook {
+    /// A kernel is about to execute.
+    fn kernel_begin(&mut self, info: &LaunchInfo) {
+        let _ = info;
+    }
+
+    /// The kernel finished executing.
+    fn kernel_end(&mut self, info: &LaunchInfo) {
+        let _ = info;
+    }
+
+    /// A warp entered a basic block (at least one lane active).
+    fn bb_entry(&mut self, warp: WarpRef, bb: BlockId) {
+        let _ = (warp, bb);
+    }
+
+    /// A warp executed a memory access instruction.
+    fn mem_access(&mut self, warp: WarpRef, event: &MemAccessEvent) {
+        let _ = (warp, event);
+    }
+}
+
+/// A hook that observes nothing (uninstrumented execution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullHook;
+
+impl KernelHook for NullHook {}
+
+/// A hook that buffers every event, useful in tests and as a building block
+/// for tracers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingHook {
+    /// `(warp, block)` in execution order.
+    pub bb_entries: Vec<(WarpRef, BlockId)>,
+    /// All memory-access events in execution order.
+    pub accesses: Vec<(WarpRef, MemAccessEvent)>,
+    /// Names of kernels begun.
+    pub kernels: Vec<String>,
+}
+
+impl KernelHook for RecordingHook {
+    fn kernel_begin(&mut self, info: &LaunchInfo) {
+        self.kernels.push(info.kernel.clone());
+    }
+
+    fn bb_entry(&mut self, warp: WarpRef, bb: BlockId) {
+        self.bb_entries.push((warp, bb));
+    }
+
+    fn mem_access(&mut self, warp: WarpRef, event: &MemAccessEvent) {
+        self.accesses.push((warp, event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hook_is_callable() {
+        let mut h = NullHook;
+        let info = LaunchInfo {
+            kernel: "k".into(),
+            config: LaunchConfig::new(1u32, 32u32),
+            block_count: 1,
+            warp_size: 32,
+        };
+        h.kernel_begin(&info);
+        h.bb_entry(WarpRef { cta: 0, warp: 0 }, BlockId(0));
+        h.kernel_end(&info);
+    }
+
+    #[test]
+    fn coalescing_counts_distinct_segments() {
+        let mk = |addrs: Vec<u64>| MemAccessEvent {
+            bb: BlockId(0),
+            inst_idx: 0,
+            space: MemSpace::Global,
+            kind: AccessKind::Read,
+            lane_addrs: addrs.into_iter().enumerate().map(|(l, a)| (l as u8, a)).collect(),
+        };
+        // All 32 lanes in one 32-byte segment: 1 transaction.
+        assert_eq!(mk((0..32).map(|i| i % 32).collect()).coalesced_transactions(), 1);
+        // Consecutive 4-byte words: 32 lanes over 128 bytes = 4 segments.
+        assert_eq!(mk((0..32).map(|i| i * 4).collect()).coalesced_transactions(), 4);
+        // Fully scattered: one segment per lane.
+        assert_eq!(mk((0..32).map(|i| i * 64).collect()).coalesced_transactions(), 32);
+        assert_eq!(mk(vec![]).coalesced_transactions(), 0);
+    }
+
+    #[test]
+    fn bank_conflicts_count_worst_bank() {
+        let mk = |addrs: Vec<u64>| MemAccessEvent {
+            bb: BlockId(0),
+            inst_idx: 0,
+            space: MemSpace::Shared,
+            kind: AccessKind::Read,
+            lane_addrs: addrs.into_iter().enumerate().map(|(l, a)| (l as u8, a)).collect(),
+        };
+        // Stride-1 words: conflict-free.
+        assert_eq!(mk((0..32).map(|i| i * 4).collect()).bank_conflict_degree(), 1);
+        // Stride-32 words: all lanes on bank 0 → 32-way conflict.
+        assert_eq!(mk((0..32).map(|i| i * 4 * 32).collect()).bank_conflict_degree(), 32);
+        // Stride-2 words: 2-way conflicts.
+        assert_eq!(mk((0..32).map(|i| i * 8).collect()).bank_conflict_degree(), 2);
+        // Broadcast (all lanes one word): conflict-free.
+        assert_eq!(mk(vec![40; 32]).bank_conflict_degree(), 1);
+    }
+
+    #[test]
+    fn cost_feature_dispatches_by_space() {
+        let mut e = MemAccessEvent {
+            bb: BlockId(0),
+            inst_idx: 0,
+            space: MemSpace::Constant,
+            kind: AccessKind::Read,
+            lane_addrs: (0..32u64).map(|l| (l as u8, l * 64)).collect(),
+        };
+        assert_eq!(e.cost_feature(), 1);
+        e.space = MemSpace::Global;
+        assert_eq!(e.cost_feature(), 32);
+        e.space = MemSpace::Shared;
+        assert_eq!(e.cost_feature(), 16, "stride-64B over 32 banks of 4B words");
+    }
+
+    #[test]
+    fn recording_hook_buffers_in_order() {
+        let mut h = RecordingHook::default();
+        let w = WarpRef { cta: 1, warp: 2 };
+        h.bb_entry(w, BlockId(5));
+        h.bb_entry(w, BlockId(6));
+        assert_eq!(h.bb_entries, vec![(w, BlockId(5)), (w, BlockId(6))]);
+    }
+}

@@ -1,0 +1,850 @@
+//! Lockstep warp execution with SIMT divergence and reconvergence.
+//!
+//! A warp executes the kernel's structured control-flow tree with an
+//! explicit frame stack and a 32-bit activity mask:
+//!
+//! * `If` pushes the not-taken region (with the false-lane mask) and the
+//!   taken region (with the true-lane mask); after both frames pop, the
+//!   parent continues with the full mask — exact reconvergence at the
+//!   immediate post-dominator.
+//! * `While` keeps a shrinking activity mask: once a lane fails the loop
+//!   condition it leaves the loop permanently and waits at the
+//!   reconvergence point, while the warp keeps iterating until every lane
+//!   has left (SIMT loop divergence).
+//! * Predicated (guarded) instructions execute only in guard-passing lanes
+//!   but never alter warp control flow, so they are invisible to the
+//!   basic-block trace — CUDA's predicated execution.
+//!
+//! The explicit stack lets a warp *pause* at a block-wide barrier and be
+//! resumed by the engine once all warps of the CTA arrive.
+
+use crate::error::ExecError;
+use crate::grid::Dim3;
+use crate::hook::{AccessKind, KernelHook, MemAccessEvent, WarpRef};
+use crate::isa::{AtomicOp, BinOp, CmpOp, Inst, InstOp, MemSpace, Operand, Pred, Reg, ShflMode, UnOp};
+use crate::mem::{DeviceMemory, LinearMemory};
+use crate::program::{BlockId, KernelProgram, Region, Stmt};
+
+/// An activity mask wide enough for any supported warp (up to 64 lanes).
+pub type Mask = u64;
+
+/// Execution resources shared by the warps of one launch, threaded through
+/// the interpreter by the engine.
+pub(crate) struct ExecEnv<'a> {
+    /// Device global + constant memory.
+    pub mem: &'a mut DeviceMemory,
+    /// The CTA's shared-memory bank.
+    pub shared: &'a mut LinearMemory,
+    /// Instrumentation sink.
+    pub hook: &'a mut dyn KernelHook,
+    /// Remaining instruction budget for the whole launch.
+    pub fuel: &'a mut u64,
+    /// Kernel arguments.
+    pub args: &'a [u64],
+    /// Executed-instruction counter for launch statistics.
+    pub executed: &'a mut u64,
+}
+
+/// Where a warp stopped when control returned to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WarpStatus {
+    /// The warp reached a `Sync` and waits for the rest of its CTA.
+    AtBarrier,
+    /// The warp ran its whole body.
+    Done,
+}
+
+enum FrameKind<'p> {
+    /// Sequential statements of a region.
+    Seq { items: &'p [Stmt], idx: usize },
+    /// A `While` loop with its shrinking activity mask.
+    Loop {
+        cond_block: BlockId,
+        pred: Pred,
+        body: &'p Region,
+        active: Mask,
+    },
+}
+
+struct Frame<'p> {
+    kind: FrameKind<'p>,
+    mask: Mask,
+}
+
+/// What the interpreter loop decided to do next; extracted from the frame
+/// stack so no borrow is held across execution.
+enum Action<'p> {
+    /// The top frame is exhausted.
+    Pop,
+    /// Execute one statement under the given mask.
+    Stmt(&'p Stmt, Mask),
+    /// Run one loop iteration: condition block, then possibly the body.
+    LoopIter {
+        cond_block: BlockId,
+        pred: Pred,
+        body: &'p Region,
+        active: Mask,
+    },
+}
+
+/// Per-lane coordinates, fixed at warp creation.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneInfo {
+    tid: (u32, u32, u32),
+    valid: bool,
+}
+
+/// One warp's execution state.
+pub(crate) struct WarpExec<'p> {
+    program: &'p KernelProgram,
+    warp_ref: WarpRef,
+    frames: Vec<Frame<'p>>,
+    /// Initial activity mask (lanes that map to real threads).
+    init_mask: Mask,
+    warp_size: u32,
+    regs: Vec<u64>,
+    preds: Vec<bool>,
+    lanes: Vec<LaneInfo>,
+    /// Per-lane private (local) memory, allocated only when the kernel
+    /// declares local bytes.
+    local: Vec<LinearMemory>,
+    ctaid: (u32, u32, u32),
+    grid: Dim3,
+    block: Dim3,
+    cta_linear: u32,
+    warp_in_block: u32,
+    done: bool,
+}
+
+impl<'p> WarpExec<'p> {
+    /// Creates the warp covering threads `[warp_in_block*32, ...+31]` of the
+    /// given CTA. Lanes beyond the block size start inactive.
+    pub fn new(
+        program: &'p KernelProgram,
+        grid: Dim3,
+        block: Dim3,
+        cta_linear: u32,
+        warp_in_block: u32,
+        warp_size: u32,
+    ) -> Self {
+        debug_assert!((1..=crate::grid::MAX_WARP_SIZE).contains(&warp_size));
+        let block_threads = block.total();
+        let mut lanes = vec![LaneInfo::default(); warp_size as usize];
+        let mut init_mask: Mask = 0;
+        for lane in 0..warp_size {
+            let tid_linear = u64::from(warp_in_block) * u64::from(warp_size) + u64::from(lane);
+            if tid_linear < block_threads {
+                lanes[lane as usize] = LaneInfo {
+                    tid: block.unlinearize(tid_linear),
+                    valid: true,
+                };
+                init_mask |= 1 << lane;
+            }
+        }
+        let n_lanes = warp_size as usize;
+        let local = if program.local_mem_bytes > 0 {
+            (0..n_lanes)
+                .map(|_| LinearMemory::new(program.local_mem_bytes as usize))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut frames = Vec::with_capacity(8);
+        frames.push(Frame {
+            kind: FrameKind::Seq {
+                items: &program.body.0,
+                idx: 0,
+            },
+            mask: init_mask,
+        });
+        WarpExec {
+            program,
+            warp_ref: WarpRef {
+                cta: cta_linear,
+                warp: warp_in_block,
+            },
+            frames,
+            init_mask,
+            warp_size,
+            regs: vec![0; usize::from(program.num_regs) * n_lanes],
+            preds: vec![false; usize::from(program.num_preds) * n_lanes],
+            lanes,
+            local,
+            ctaid: grid.unlinearize(u64::from(cta_linear)),
+            grid,
+            block,
+            cta_linear,
+            warp_in_block,
+            done: false,
+        }
+    }
+
+    /// `true` when the warp has no active lanes at all (a fully padded
+    /// warp); such warps are never launched by hardware.
+    pub fn is_empty(&self) -> bool {
+        self.init_mask == 0
+    }
+
+    /// `true` once the warp has finished its body.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn reg(&self, lane: usize, r: Reg) -> u64 {
+        self.regs[lane * usize::from(self.program.num_regs) + usize::from(r.0)]
+    }
+
+    fn set_reg(&mut self, lane: usize, r: Reg, v: u64) {
+        self.regs[lane * usize::from(self.program.num_regs) + usize::from(r.0)] = v;
+    }
+
+    fn pred(&self, lane: usize, p: Pred) -> bool {
+        self.preds[lane * usize::from(self.program.num_preds) + usize::from(p.0)]
+    }
+
+    fn set_pred(&mut self, lane: usize, p: Pred, v: bool) {
+        self.preds[lane * usize::from(self.program.num_preds) + usize::from(p.0)] = v;
+    }
+
+    fn eval(&self, lane: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(lane, r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Mask of lanes (within `mask`) where predicate `p` is true.
+    fn pred_mask(&self, mask: Mask, p: Pred) -> Mask {
+        let mut out = 0;
+        for lane in 0..self.warp_size as usize {
+            if mask & (1 << lane) != 0 && self.pred(lane, p) {
+                out |= 1 << lane;
+            }
+        }
+        out
+    }
+
+    /// Runs until the next barrier or completion.
+    pub fn run(&mut self, env: &mut ExecEnv<'_>) -> Result<WarpStatus, ExecError> {
+        debug_assert!(!self.done, "running a finished warp");
+        loop {
+            // Extract what to do next from the top frame without holding the
+            // borrow across execution.
+            let action = match self.frames.last_mut() {
+                None => {
+                    self.done = true;
+                    return Ok(WarpStatus::Done);
+                }
+                Some(frame) => {
+                    let mask = frame.mask;
+                    match &mut frame.kind {
+                        FrameKind::Seq { items, idx } => {
+                            // Copy the `&'p` slice out of the frame so the
+                            // statement reference outlives the frame borrow.
+                            let items: &'p [Stmt] = items;
+                            if *idx >= items.len() {
+                                Action::Pop
+                            } else {
+                                let stmt = &items[*idx];
+                                *idx += 1;
+                                Action::Stmt(stmt, mask)
+                            }
+                        }
+                        FrameKind::Loop {
+                            cond_block,
+                            pred,
+                            body,
+                            active,
+                        } => {
+                            if *active == 0 {
+                                Action::Pop
+                            } else {
+                                Action::LoopIter {
+                                    cond_block: *cond_block,
+                                    pred: *pred,
+                                    body,
+                                    active: *active,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            match action {
+                Action::Pop => {
+                    self.frames.pop();
+                }
+                Action::Stmt(stmt, mask) => match stmt {
+                    Stmt::Block(id) => self.exec_block(*id, mask, env)?,
+                    Stmt::If {
+                        pred,
+                        then_region,
+                        else_region,
+                    } => {
+                        let m_then = self.pred_mask(mask, *pred);
+                        let m_else = mask & !m_then;
+                        // Push else first so the taken path runs first; both
+                        // paths complete before the parent frame resumes —
+                        // reconvergence at the immediate post-dominator.
+                        if m_else != 0 && !else_region.is_empty() {
+                            self.frames.push(Frame {
+                                kind: FrameKind::Seq {
+                                    items: &else_region.0,
+                                    idx: 0,
+                                },
+                                mask: m_else,
+                            });
+                        }
+                        if m_then != 0 && !then_region.is_empty() {
+                            self.frames.push(Frame {
+                                kind: FrameKind::Seq {
+                                    items: &then_region.0,
+                                    idx: 0,
+                                },
+                                mask: m_then,
+                            });
+                        }
+                    }
+                    Stmt::While {
+                        cond_block,
+                        pred,
+                        body,
+                    } => {
+                        self.frames.push(Frame {
+                            kind: FrameKind::Loop {
+                                cond_block: *cond_block,
+                                pred: *pred,
+                                body,
+                                active: mask,
+                            },
+                            mask,
+                        });
+                    }
+                    Stmt::Sync => {
+                        // Validation restricts Sync to the top level, so the
+                        // mask here is the warp's full initial mask; anything
+                        // else is divergence.
+                        if mask != self.init_mask {
+                            return Err(ExecError::BarrierDivergence {
+                                warp: self.warp_ref,
+                            });
+                        }
+                        return Ok(WarpStatus::AtBarrier);
+                    }
+                },
+                Action::LoopIter {
+                    cond_block,
+                    pred,
+                    body,
+                    active,
+                } => {
+                    self.exec_block(cond_block, active, env)?;
+                    let still = self.pred_mask(active, pred);
+                    let Some(Frame {
+                        kind: FrameKind::Loop { active: a, .. },
+                        ..
+                    }) = self.frames.last_mut()
+                    else {
+                        unreachable!("loop frame cannot disappear during its own condition");
+                    };
+                    *a = still;
+                    if still == 0 {
+                        self.frames.pop();
+                    } else {
+                        self.frames.push(Frame {
+                            kind: FrameKind::Seq {
+                                items: &body.0,
+                                idx: 0,
+                            },
+                            mask: still,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        id: BlockId,
+        mask: Mask,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<(), ExecError> {
+        debug_assert_ne!(mask, 0, "executing a block with no active lanes");
+        env.hook.bb_entry(self.warp_ref, id);
+        let block = &self.program.blocks[id.0 as usize];
+        for (inst_idx, inst) in block.insts.iter().enumerate() {
+            if *env.fuel == 0 {
+                return Err(ExecError::FuelExhausted);
+            }
+            *env.fuel -= 1;
+            *env.executed += 1;
+            self.exec_inst(id, inst_idx as u32, inst, mask, env)?;
+        }
+        Ok(())
+    }
+
+    fn guard_mask(&self, mask: Mask, inst: &Inst) -> Mask {
+        match inst.guard {
+            None => mask,
+            Some(g) => {
+                let p = self.pred_mask(mask, g.pred);
+                if g.expected {
+                    p
+                } else {
+                    mask & !p
+                }
+            }
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        bb: BlockId,
+        inst_idx: u32,
+        inst: &Inst,
+        mask: Mask,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<(), ExecError> {
+        let active = self.guard_mask(mask, inst);
+        if active == 0 {
+            return Ok(());
+        }
+        let lanes = (0..self.warp_size as usize).filter(|&l| active & (1 << l) != 0);
+        match &inst.op {
+            InstOp::Mov { dst, src } => {
+                for lane in lanes {
+                    let v = self.eval(lane, *src);
+                    self.set_reg(lane, *dst, v);
+                }
+            }
+            InstOp::Bin { op, dst, a, b } => {
+                for lane in lanes {
+                    let (x, y) = (self.eval(lane, *a), self.eval(lane, *b));
+                    let v = eval_bin(*op, x, y).ok_or(ExecError::DivisionByZero {
+                        bb,
+                        inst_idx,
+                        warp: self.warp_ref,
+                    })?;
+                    self.set_reg(lane, *dst, v);
+                }
+            }
+            InstOp::Un { op, dst, a } => {
+                for lane in lanes {
+                    let x = self.eval(lane, *a);
+                    self.set_reg(lane, *dst, eval_un(*op, x));
+                }
+            }
+            InstOp::SetP { pred, op, a, b } => {
+                for lane in lanes {
+                    let (x, y) = (self.eval(lane, *a), self.eval(lane, *b));
+                    self.set_pred(lane, *pred, eval_cmp(*op, x, y));
+                }
+            }
+            InstOp::Sel { dst, pred, a, b } => {
+                for lane in lanes {
+                    let v = if self.pred(lane, *pred) {
+                        self.eval(lane, *a)
+                    } else {
+                        self.eval(lane, *b)
+                    };
+                    self.set_reg(lane, *dst, v);
+                }
+            }
+            InstOp::Ld {
+                dst,
+                space,
+                addr,
+                width,
+            } => {
+                let w = width.bytes();
+                let mut lane_addrs = Vec::new();
+                for lane in lanes {
+                    let a = self.eval(lane, *addr);
+                    lane_addrs.push((lane as u8, a));
+                    let v = self
+                        .load(*space, lane, a, w, env)
+                        .map_err(|source| ExecError::Memory {
+                            bb,
+                            inst_idx,
+                            warp: self.warp_ref,
+                            space: *space,
+                            source,
+                        })?;
+                    self.set_reg(lane, *dst, v);
+                }
+                env.hook.mem_access(
+                    self.warp_ref,
+                    &MemAccessEvent {
+                        bb,
+                        inst_idx,
+                        space: *space,
+                        kind: AccessKind::Read,
+                        lane_addrs,
+                    },
+                );
+            }
+            InstOp::St {
+                space,
+                addr,
+                value,
+                width,
+            } => {
+                let w = width.bytes();
+                let mut lane_addrs = Vec::new();
+                for lane in lanes {
+                    let a = self.eval(lane, *addr);
+                    let v = self.eval(lane, *value);
+                    lane_addrs.push((lane as u8, a));
+                    self.store(*space, lane, a, w, v, env)
+                        .map_err(|source| ExecError::Memory {
+                            bb,
+                            inst_idx,
+                            warp: self.warp_ref,
+                            space: *space,
+                            source,
+                        })?;
+                }
+                env.hook.mem_access(
+                    self.warp_ref,
+                    &MemAccessEvent {
+                        bb,
+                        inst_idx,
+                        space: *space,
+                        kind: AccessKind::Write,
+                        lane_addrs,
+                    },
+                );
+            }
+            InstOp::LdParam { dst, index } => {
+                let v = *env
+                    .args
+                    .get(usize::from(*index))
+                    .ok_or(ExecError::ParamOutOfRange {
+                        index: *index,
+                        provided: env.args.len(),
+                    })?;
+                for lane in lanes {
+                    self.set_reg(lane, *dst, v);
+                }
+            }
+            InstOp::Special { dst, sr } => {
+                for lane in lanes {
+                    let v = self.special(lane, *sr);
+                    self.set_reg(lane, *dst, v);
+                }
+            }
+            InstOp::Atomic {
+                op,
+                dst,
+                space,
+                addr,
+                value,
+                width,
+            } => {
+                let w = width.bytes();
+                let mut lane_addrs = Vec::new();
+                // Lanes serialise in lane order — a deterministic pick of
+                // the order hardware serialises atomics in.
+                for lane in lanes {
+                    let a = self.eval(lane, *addr);
+                    let v = self.eval(lane, *value);
+                    lane_addrs.push((lane as u8, a));
+                    let old = self
+                        .load(*space, lane, a, w, env)
+                        .map_err(|source| ExecError::Memory {
+                            bb,
+                            inst_idx,
+                            warp: self.warp_ref,
+                            space: *space,
+                            source,
+                        })?;
+                    let mask = if w == 8 { u64::MAX } else { (1 << (8 * w)) - 1 };
+                    let new = match op {
+                        AtomicOp::Add => old.wrapping_add(v) & mask,
+                        AtomicOp::MinU => old.min(v & mask),
+                        AtomicOp::MaxU => old.max(v & mask),
+                        AtomicOp::Exch => v & mask,
+                    };
+                    self.store(*space, lane, a, w, new, env)
+                        .map_err(|source| ExecError::Memory {
+                            bb,
+                            inst_idx,
+                            warp: self.warp_ref,
+                            space: *space,
+                            source,
+                        })?;
+                    self.set_reg(lane, *dst, old);
+                }
+                env.hook.mem_access(
+                    self.warp_ref,
+                    &MemAccessEvent {
+                        bb,
+                        inst_idx,
+                        space: *space,
+                        kind: AccessKind::Atomic,
+                        lane_addrs,
+                    },
+                );
+            }
+            InstOp::Shfl {
+                mode,
+                dst,
+                src,
+                lane: lane_sel,
+            } => {
+                // Snapshot the source register across all lanes first:
+                // every lane reads its peer's *pre-instruction* value.
+                let snapshot: Vec<u64> = (0..self.warp_size as usize)
+                    .map(|l| self.reg(l, *src))
+                    .collect();
+                let ws = self.warp_size as usize;
+                for lane in lanes {
+                    let sel = self.eval(lane, *lane_sel) as usize;
+                    let peer = match mode {
+                        ShflMode::Xor => (lane ^ sel) % ws,
+                        ShflMode::Idx => sel % ws,
+                    };
+                    // Inactive peer: keep own value (hardware leaves it
+                    // undefined; a deterministic choice is required here).
+                    let v = if active & (1 << peer) != 0 {
+                        snapshot[peer]
+                    } else {
+                        snapshot[lane]
+                    };
+                    self.set_reg(lane, *dst, v);
+                }
+            }
+            InstOp::Ballot { dst, pred } => {
+                let mask = self.pred_mask(active, *pred);
+                for lane in lanes {
+                    self.set_reg(lane, *dst, mask);
+                }
+            }
+            InstOp::Tex { dst, slot, x, y } => {
+                let texture = env
+                    .mem
+                    .texture(*slot)
+                    .ok_or(ExecError::UnboundTexture { slot: *slot })?;
+                // Gather coordinates first (immutable self), then fetch and
+                // write back — `texture` borrows env.mem, disjoint from
+                // self and env.hook.
+                let coords: Vec<(usize, i64, i64)> = lanes
+                    .map(|lane| {
+                        (
+                            lane,
+                            self.eval(lane, *x) as i64,
+                            self.eval(lane, *y) as i64,
+                        )
+                    })
+                    .collect();
+                let mut lane_addrs = Vec::new();
+                for (lane, xi, yi) in coords {
+                    let (texel, idx) = texture.fetch(xi, yi);
+                    lane_addrs.push((lane as u8, idx));
+                    self.set_reg(lane, *dst, u64::from(texel));
+                }
+                env.hook.mem_access(
+                    self.warp_ref,
+                    &MemAccessEvent {
+                        bb,
+                        inst_idx,
+                        space: MemSpace::Texture,
+                        kind: AccessKind::Read,
+                        lane_addrs,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn load(
+        &mut self,
+        space: MemSpace,
+        lane: usize,
+        addr: u64,
+        width: u64,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<u64, crate::mem::AccessError> {
+        match space {
+            MemSpace::Global => env.mem.load(addr, width),
+            MemSpace::Shared => env.shared.load(addr, width),
+            MemSpace::Constant => env.mem.constant().load(addr, width),
+            MemSpace::Local => self
+                .local
+                .get(lane)
+                .ok_or(crate::mem::AccessError { addr, width })?
+                .load(addr, width),
+            // Validation rejects plain loads on the texture space.
+            MemSpace::Texture => Err(crate::mem::AccessError { addr, width }),
+        }
+    }
+
+    fn store(
+        &mut self,
+        space: MemSpace,
+        lane: usize,
+        addr: u64,
+        width: u64,
+        value: u64,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<(), crate::mem::AccessError> {
+        match space {
+            MemSpace::Global => env.mem.store(addr, width, value),
+            MemSpace::Shared => env.shared.store(addr, width, value),
+            MemSpace::Constant => Err(crate::mem::AccessError { addr, width }),
+            MemSpace::Local => self
+                .local
+                .get_mut(lane)
+                .ok_or(crate::mem::AccessError { addr, width })?
+                .store(addr, width, value),
+            // Validation rejects plain stores on the texture space.
+            MemSpace::Texture => Err(crate::mem::AccessError { addr, width }),
+        }
+    }
+
+    fn special(&self, lane: usize, sr: crate::isa::SpecialReg) -> u64 {
+        use crate::isa::SpecialReg::*;
+        let info = &self.lanes[lane];
+        debug_assert!(info.valid, "special register read in an invalid lane");
+        match sr {
+            TidX => u64::from(info.tid.0),
+            TidY => u64::from(info.tid.1),
+            TidZ => u64::from(info.tid.2),
+            CtaidX => u64::from(self.ctaid.0),
+            CtaidY => u64::from(self.ctaid.1),
+            CtaidZ => u64::from(self.ctaid.2),
+            NTidX => u64::from(self.block.x),
+            NTidY => u64::from(self.block.y),
+            NTidZ => u64::from(self.block.z),
+            NCtaidX => u64::from(self.grid.x),
+            NCtaidY => u64::from(self.grid.y),
+            NCtaidZ => u64::from(self.grid.z),
+            LaneId => lane as u64,
+            WarpId => u64::from(self.warp_in_block),
+            GlobalTid => {
+                let tid_linear = u64::from(info.tid.0)
+                    + u64::from(info.tid.1) * u64::from(self.block.x)
+                    + u64::from(info.tid.2) * u64::from(self.block.x) * u64::from(self.block.y);
+                u64::from(self.cta_linear) * self.block.total() + tid_linear
+            }
+        }
+    }
+}
+
+fn f32_of(bits: u64) -> f32 {
+    f32::from_bits(bits as u32)
+}
+
+fn bits_of(v: f32) -> u64 {
+    u64::from(v.to_bits())
+}
+
+/// Evaluates a binary ALU operation; `None` signals division by zero.
+fn eval_bin(op: BinOp, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::DivU => a.checked_div(b)?,
+        BinOp::RemU => a.checked_rem(b)?,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+        BinOp::Sar => (a as i64).wrapping_shr(b as u32) as u64,
+        BinOp::MinU => a.min(b),
+        BinOp::MaxU => a.max(b),
+        BinOp::MinS => ((a as i64).min(b as i64)) as u64,
+        BinOp::MaxS => ((a as i64).max(b as i64)) as u64,
+        BinOp::FAdd => bits_of(f32_of(a) + f32_of(b)),
+        BinOp::FSub => bits_of(f32_of(a) - f32_of(b)),
+        BinOp::FMul => bits_of(f32_of(a) * f32_of(b)),
+        BinOp::FDiv => bits_of(f32_of(a) / f32_of(b)),
+        BinOp::FMin => bits_of(f32_of(a).min(f32_of(b))),
+        BinOp::FMax => bits_of(f32_of(a).max(f32_of(b))),
+    })
+}
+
+fn eval_un(op: UnOp, a: u64) -> u64 {
+    match op {
+        UnOp::Not => !a,
+        UnOp::Neg => (a as i64).wrapping_neg() as u64,
+        UnOp::FNeg => bits_of(-f32_of(a)),
+        UnOp::FAbs => bits_of(f32_of(a).abs()),
+        UnOp::FSqrt => bits_of(f32_of(a).sqrt()),
+        UnOp::FExp => bits_of(f32_of(a).exp()),
+        UnOp::FLn => bits_of(f32_of(a).ln()),
+        UnOp::FFloor => bits_of(f32_of(a).floor()),
+        UnOp::I2F => bits_of(a as i64 as f32),
+        UnOp::F2I => {
+            let f = f32_of(a);
+            if f.is_nan() {
+                0
+            } else {
+                (f as i64) as u64
+            }
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::LtU => a < b,
+        CmpOp::LeU => a <= b,
+        CmpOp::GtU => a > b,
+        CmpOp::GeU => a >= b,
+        CmpOp::LtS => (a as i64) < (b as i64),
+        CmpOp::LeS => (a as i64) <= (b as i64),
+        CmpOp::GtS => (a as i64) > (b as i64),
+        CmpOp::GeS => (a as i64) >= (b as i64),
+        CmpOp::FLt => f32_of(a) < f32_of(b),
+        CmpOp::FLe => f32_of(a) <= f32_of(b),
+        CmpOp::FGt => f32_of(a) > f32_of(b),
+        CmpOp::FGe => f32_of(a) >= f32_of(b),
+        CmpOp::FEq => f32_of(a) == f32_of(b),
+        CmpOp::FNe => f32_of(a) != f32_of(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_ops_basic() {
+        assert_eq!(eval_bin(BinOp::Add, u64::MAX, 1), Some(0));
+        assert_eq!(eval_bin(BinOp::Sub, 0, 1), Some(u64::MAX));
+        assert_eq!(eval_bin(BinOp::DivU, 7, 2), Some(3));
+        assert_eq!(eval_bin(BinOp::DivU, 7, 0), None);
+        assert_eq!(eval_bin(BinOp::RemU, 7, 0), None);
+        assert_eq!(eval_bin(BinOp::MinS, (-1i64) as u64, 1), Some((-1i64) as u64));
+        assert_eq!(eval_bin(BinOp::MaxU, (-1i64) as u64, 1), Some(u64::MAX));
+        assert_eq!(eval_bin(BinOp::Sar, (-8i64) as u64, 2), Some((-2i64) as u64));
+    }
+
+    #[test]
+    fn float_ops_roundtrip_bits() {
+        let a = bits_of(1.5);
+        let b = bits_of(2.0);
+        assert_eq!(eval_bin(BinOp::FMul, a, b), Some(bits_of(3.0)));
+        assert_eq!(eval_un(UnOp::FSqrt, bits_of(9.0)), bits_of(3.0));
+        assert_eq!(eval_un(UnOp::I2F, (-3i64) as u64), bits_of(-3.0));
+        assert_eq!(eval_un(UnOp::F2I, bits_of(-3.7)), (-3i64) as u64);
+        assert_eq!(eval_un(UnOp::F2I, bits_of(f32::NAN)), 0);
+    }
+
+    #[test]
+    fn cmp_ops_signedness() {
+        let neg1 = (-1i64) as u64;
+        assert!(eval_cmp(CmpOp::LtS, neg1, 0));
+        assert!(!eval_cmp(CmpOp::LtU, neg1, 0));
+        assert!(eval_cmp(CmpOp::FLt, bits_of(-1.0), bits_of(0.0)));
+        assert!(!eval_cmp(CmpOp::FLt, bits_of(f32::NAN), bits_of(0.0)));
+        assert!(eval_cmp(CmpOp::FNe, bits_of(f32::NAN), bits_of(f32::NAN)));
+    }
+}

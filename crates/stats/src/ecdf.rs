@@ -1,0 +1,180 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Equation (1) of the paper: for a sample `X = {x_1..x_n}`,
+//! `F_X(t) = (1/n) Σ 1[x_i ≤ t]`. Weighted samples generalise the sum over
+//! multiplicities.
+
+use crate::samples::WeightedSamples;
+
+/// An empirical CDF built from a [`WeightedSamples`] set.
+///
+/// # Example
+///
+/// ```
+/// use owl_stats::{Ecdf, WeightedSamples};
+///
+/// let ecdf = Ecdf::from_samples(&WeightedSamples::from_values([1.0, 2.0, 2.0, 4.0]));
+/// assert_eq!(ecdf.eval(0.0), 0.0);
+/// assert_eq!(ecdf.eval(2.0), 0.75);
+/// assert_eq!(ecdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    /// `(value, cumulative probability)`, sorted by value, cumulative
+    /// probabilities strictly increasing and ending at 1.
+    steps: Vec<(f64, f64)>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a weighted sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample set is empty; an ECDF of nothing is undefined.
+    pub fn from_samples(samples: &WeightedSamples) -> Self {
+        assert!(!samples.is_empty(), "ECDF of an empty sample set");
+        let n = samples.total_weight() as f64;
+        let mut cum = 0u64;
+        let steps = samples
+            .pairs()
+            .iter()
+            .map(|&(x, w)| {
+                cum += w;
+                (x, cum as f64 / n)
+            })
+            .collect();
+        Self { steps }
+    }
+
+    /// Evaluates `F(t)`: the fraction of observations `≤ t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        // Find the last step with value <= t.
+        match self
+            .steps
+            .binary_search_by(|&(x, _)| x.partial_cmp(&t).expect("no NaN in ECDF"))
+        {
+            Ok(mut i) => {
+                // Several identical values were coalesced at build time, so
+                // an exact hit is unique; still, step to the matching entry.
+                while i + 1 < self.steps.len() && self.steps[i + 1].0 == t {
+                    i += 1;
+                }
+                self.steps[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// The step points `(value, F(value))` of this ECDF.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+
+    /// The supremum distance `sup_t |F(t) − G(t)|` between two ECDFs.
+    ///
+    /// Because both functions are right-continuous step functions, the
+    /// supremum is attained at one of the step locations; a linear merge of
+    /// the two step sequences evaluates it exactly.
+    pub fn sup_distance(&self, other: &Ecdf) -> f64 {
+        let (a, b) = (&self.steps, &other.steps);
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut fa, mut fb) = (0.0f64, 0.0f64);
+        let mut sup = 0.0f64;
+        while i < a.len() || j < b.len() {
+            let xa = a.get(i).map(|&(x, _)| x);
+            let xb = b.get(j).map(|&(x, _)| x);
+            match (xa, xb) {
+                (Some(x1), Some(x2)) if x1 < x2 => {
+                    fa = a[i].1;
+                    i += 1;
+                }
+                (Some(x1), Some(x2)) if x2 < x1 => {
+                    fb = b[j].1;
+                    j += 1;
+                }
+                (Some(_), Some(_)) => {
+                    fa = a[i].1;
+                    fb = b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+                (Some(_), None) => {
+                    fa = a[i].1;
+                    i += 1;
+                }
+                (None, Some(_)) => {
+                    fb = b[j].1;
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition excludes this"),
+            }
+            sup = sup.max((fa - fb).abs());
+        }
+        sup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf_of(values: &[f64]) -> Ecdf {
+        Ecdf::from_samples(&WeightedSamples::from_values(values.iter().copied()))
+    }
+
+    #[test]
+    fn eval_matches_definition() {
+        let e = ecdf_of(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(1.5), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.9), 0.75);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn weighted_and_expanded_agree() {
+        let w = Ecdf::from_samples(&WeightedSamples::from_pairs([(1.0, 2), (3.0, 2)]));
+        let x = ecdf_of(&[1.0, 1.0, 3.0, 3.0]);
+        assert_eq!(w, x);
+    }
+
+    #[test]
+    fn sup_distance_identical_is_zero() {
+        let e = ecdf_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(e.sup_distance(&e), 0.0);
+    }
+
+    #[test]
+    fn sup_distance_disjoint_is_one() {
+        let a = ecdf_of(&[1.0, 2.0]);
+        let b = ecdf_of(&[10.0, 20.0]);
+        assert_eq!(a.sup_distance(&b), 1.0);
+        assert_eq!(b.sup_distance(&a), 1.0);
+    }
+
+    #[test]
+    fn sup_distance_hand_computed() {
+        // X = {1, 2}, Y = {2, 3}: at t=1, |0.5 - 0| = 0.5 is the supremum.
+        let a = ecdf_of(&[1.0, 2.0]);
+        let b = ecdf_of(&[2.0, 3.0]);
+        assert_eq!(a.sup_distance(&b), 0.5);
+    }
+
+    #[test]
+    fn sup_distance_interleaved() {
+        // X = {1, 3}, Y = {2, 4}: at t=1 diff 0.5, t=2 diff 0.0, t=3 diff 0.5.
+        let a = ecdf_of(&[1.0, 3.0]);
+        let b = ecdf_of(&[2.0, 4.0]);
+        assert_eq!(a.sup_distance(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_set_panics() {
+        let _ = Ecdf::from_samples(&WeightedSamples::new());
+    }
+}

@@ -1,0 +1,171 @@
+//! Weighted value histograms.
+//!
+//! The paper's `H_addr` (§VII-C) records, per memory-access instruction, the
+//! address offsets on the x-axis and the access counts on the y-axis. A
+//! [`Histogram`] is that structure: a map from an integer-valued feature
+//! (address offset, transition id, invocation count, …) to a count.
+
+use crate::samples::WeightedSamples;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A histogram over `u64` feature values with `u64` counts.
+///
+/// # Example
+///
+/// ```
+/// use owl_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0x10, 2);
+/// h.record(0x10, 1);
+/// h.record(0x20, 5);
+/// assert_eq!(h.count(0x10), 3);
+/// assert_eq!(h.total(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` observations of `value`.
+    pub fn record(&mut self, value: u64, count: u64) {
+        if count > 0 {
+            *self.bins.entry(value).or_insert(0) += count;
+        }
+    }
+
+    /// The count recorded for `value` (zero when absent).
+    pub fn count(&self, value: u64) -> u64 {
+        self.bins.get(&value).copied().unwrap_or(0)
+    }
+
+    /// The number of distinct values observed.
+    pub fn distinct(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The total number of observations.
+    pub fn total(&self) -> u64 {
+        self.bins.values().sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Iterates over `(value, count)` bins in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one, summing counts per bin.
+    ///
+    /// This is the aggregation step used when folding warp observations into
+    /// an A-DCFG node and when merging repeated runs into evidence.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record(v, c);
+        }
+    }
+
+    /// Converts the histogram into weighted samples for distribution tests.
+    pub fn to_samples(&self) -> WeightedSamples {
+        WeightedSamples::from_pairs(self.iter().map(|(v, c)| (v as f64, c)))
+    }
+
+    /// An estimate of the in-memory footprint of this histogram in bytes,
+    /// used by the Fig. 5 trace-size experiment.
+    pub fn size_bytes(&self) -> usize {
+        // Each bin stores a (u64, u64) pair; the BTreeMap node overhead is
+        // amortised into a constant factor that matches the serialized form.
+        self.bins.len() * 16
+    }
+}
+
+impl FromIterator<(u64, u64)> for Histogram {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for (v, c) in iter {
+            h.record(v, c);
+        }
+        h
+    }
+}
+
+impl Extend<(u64, u64)> for Histogram {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        for (v, c) in iter {
+            self.record(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(1, 1);
+        h.record(1, 2);
+        h.record(9, 4);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(9), 4);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn zero_count_records_nothing() {
+        let mut h = Histogram::new();
+        h.record(5, 0);
+        assert!(h.is_empty());
+        assert_eq!(h.size_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_sums_bins() {
+        let a: Histogram = [(1, 1), (2, 2)].into_iter().collect();
+        let b: Histogram = [(2, 3), (4, 4)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(1), 1);
+        assert_eq!(m.count(2), 5);
+        assert_eq!(m.count(4), 4);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a: Histogram = [(1, 1), (2, 2)].into_iter().collect();
+        let b: Histogram = [(2, 3), (4, 4)].into_iter().collect();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn to_samples_preserves_weights() {
+        let h: Histogram = [(3, 2), (1, 5)].into_iter().collect();
+        let s = h.to_samples();
+        assert_eq!(s.pairs(), &[(1.0, 5), (3.0, 2)]);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let h: Histogram = [(9, 1), (1, 1), (5, 1)].into_iter().collect();
+        let values: Vec<u64> = h.iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![1, 5, 9]);
+    }
+}

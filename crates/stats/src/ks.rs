@@ -1,0 +1,225 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Implements equations (2)–(4) of the Owl paper. The null hypothesis is
+//! that the fixed-input sample `X` and random-input sample `Y` are drawn
+//! from the same distribution, i.e. the observed trace differences stem
+//! from non-deterministic execution noise rather than from the input. A
+//! rejected test is evidence of an input-dependent difference — a leak.
+
+use crate::ecdf::Ecdf;
+use crate::samples::WeightedSamples;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsOutcome {
+    /// The KS statistic `D = sup_t |F_X(t) − F_Y(t)|` (eq. 2).
+    pub statistic: f64,
+    /// The significance threshold `D_{n,m}` for the requested confidence
+    /// level (eq. 3). The null hypothesis is rejected when
+    /// `statistic > threshold`.
+    pub threshold: f64,
+    /// The asymptotic p-value `2·exp(−2·D²·nm/(n+m))` (eq. 4), clamped to 1.
+    pub p_value: f64,
+    /// Effective size of the first sample.
+    pub n: u64,
+    /// Effective size of the second sample.
+    pub m: u64,
+    /// Whether the null hypothesis ("same distribution") was rejected at the
+    /// requested confidence level, i.e. `p_value < 1 − alpha`.
+    pub rejected: bool,
+}
+
+impl KsOutcome {
+    /// An outcome representing two identical (or both-empty) samples — the
+    /// strongest possible non-rejection.
+    pub fn identical(n: u64, m: u64) -> Self {
+        Self {
+            statistic: 0.0,
+            threshold: f64::INFINITY,
+            p_value: 1.0,
+            n,
+            m,
+            rejected: false,
+        }
+    }
+}
+
+/// Runs the two-sample KS test of the paper's §VII-B.
+///
+/// `alpha` is the confidence level in `(0, 1)` (the paper uses 0.95). The
+/// test rejects when the p-value falls below `1 − alpha`.
+///
+/// Degenerate inputs follow the paper's semantics of "compare evidence":
+/// if both samples are empty they are trivially identical (no rejection);
+/// if exactly one is empty, the feature exists under one input class but not
+/// the other, which is a maximal deviation and is reported as rejected with
+/// `statistic = 1`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not strictly between 0 and 1.
+///
+/// # Example
+///
+/// ```
+/// use owl_stats::{ks_two_sample, WeightedSamples};
+///
+/// let x = WeightedSamples::from_values((0..100).map(f64::from));
+/// let y = WeightedSamples::from_values((0..100).map(|v| f64::from(v) + 80.0));
+/// let out = ks_two_sample(&x, &y, 0.95);
+/// assert!(out.rejected);
+/// ```
+pub fn ks_two_sample(x: &WeightedSamples, y: &WeightedSamples, alpha: f64) -> KsOutcome {
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "confidence level must be in (0, 1), got {alpha}"
+    );
+    let (n, m) = (x.total_weight(), y.total_weight());
+    match (x.is_empty(), y.is_empty()) {
+        (true, true) => return KsOutcome::identical(0, 0),
+        (true, false) | (false, true) => {
+            // Present-vs-absent feature: maximal deviation by convention.
+            return KsOutcome {
+                statistic: 1.0,
+                threshold: 0.0,
+                p_value: 0.0,
+                n,
+                m,
+                rejected: true,
+            };
+        }
+        (false, false) => {}
+    }
+
+    let d = Ecdf::from_samples(x).sup_distance(&Ecdf::from_samples(y));
+    let (nf, mf) = (n as f64, m as f64);
+    // Eq. (3): D_{n,m} = sqrt(-ln(alpha_sig / 2) / 2) * sqrt((n+m)/(n*m)),
+    // with alpha_sig the significance level (1 - confidence).
+    let sig = 1.0 - alpha;
+    let threshold = (-((sig / 2.0).ln()) / 2.0).sqrt() * ((nf + mf) / (nf * mf)).sqrt();
+    // Eq. (4): p = 2 * exp(-2 D^2 * nm / (n+m)).
+    let p_value = (2.0 * (-2.0 * d * d * (nf * mf) / (nf + mf)).exp()).min(1.0);
+    KsOutcome {
+        statistic: d,
+        threshold,
+        p_value,
+        n,
+        m,
+        rejected: p_value < sig,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    const ALPHA: f64 = 0.95;
+
+    #[test]
+    fn identical_samples_accept() {
+        let x = WeightedSamples::from_values((0..50).map(f64::from));
+        let out = ks_two_sample(&x, &x, ALPHA);
+        assert_eq!(out.statistic, 0.0);
+        assert_eq!(out.p_value, 1.0);
+        assert!(!out.rejected);
+    }
+
+    #[test]
+    fn disjoint_samples_reject() {
+        let x = WeightedSamples::from_values((0..50).map(f64::from));
+        let y = WeightedSamples::from_values((100..150).map(f64::from));
+        let out = ks_two_sample(&x, &y, ALPHA);
+        assert_eq!(out.statistic, 1.0);
+        assert!(out.rejected);
+    }
+
+    #[test]
+    fn small_disjoint_samples_do_not_reject() {
+        // With n = m = 2 even a perfect separation is not significant:
+        // p = 2·exp(-2·1·(4/4)) = 2·e^(-2) ≈ 0.27 > 0.05.
+        let x = WeightedSamples::from_values([0.0, 1.0]);
+        let y = WeightedSamples::from_values([10.0, 11.0]);
+        let out = ks_two_sample(&x, &y, ALPHA);
+        assert!(!out.rejected);
+        assert!((out.p_value - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_empty_sample_rejects() {
+        let x = WeightedSamples::from_values([1.0, 2.0]);
+        let out = ks_two_sample(&x, &WeightedSamples::new(), ALPHA);
+        assert!(out.rejected);
+        assert_eq!(out.statistic, 1.0);
+    }
+
+    #[test]
+    fn both_empty_accept() {
+        let out = ks_two_sample(&WeightedSamples::new(), &WeightedSamples::new(), ALPHA);
+        assert!(!out.rejected);
+    }
+
+    #[test]
+    fn threshold_matches_formula_for_known_sizes() {
+        // n = m = 100, sig = 0.05:
+        // D_{n,m} = sqrt(-ln(0.025)/2) * sqrt(200/10000) = 1.3581.. * 0.14142..
+        let x = WeightedSamples::from_values((0..100).map(f64::from));
+        let out = ks_two_sample(&x, &x, ALPHA);
+        let expected = (-(0.025f64).ln() / 2.0).sqrt() * (200.0f64 / 10_000.0).sqrt();
+        assert!((out.threshold - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_value_decision_agrees_with_threshold_decision() {
+        // The asymptotic p-value test and the threshold test are two views
+        // of the same criterion; on a sweep of shifted distributions they
+        // must agree.
+        for shift in 0..40 {
+            let x = WeightedSamples::from_values((0..200).map(f64::from));
+            let y = WeightedSamples::from_values((0..200).map(|v| f64::from(v + shift * 5)));
+            let out = ks_two_sample(&x, &y, ALPHA);
+            assert_eq!(
+                out.rejected,
+                out.statistic > out.threshold,
+                "shift {shift}: p-decision {} vs D {} > thr {}",
+                out.rejected,
+                out.statistic,
+                out.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn same_distribution_random_draws_mostly_accept() {
+        // Draw many sample pairs from one distribution; the false-positive
+        // rate should be near the significance level (5%), certainly < 20%.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rejections = 0;
+        const TRIALS: usize = 100;
+        for _ in 0..TRIALS {
+            let x = WeightedSamples::from_values((0..200).map(|_| rng.gen_range(0.0..1.0)));
+            let y = WeightedSamples::from_values((0..200).map(|_| rng.gen_range(0.0..1.0)));
+            if ks_two_sample(&x, &y, ALPHA).rejected {
+                rejections += 1;
+            }
+        }
+        assert!(rejections < TRIALS / 5, "too many false positives: {rejections}");
+    }
+
+    #[test]
+    fn shifted_distribution_detected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let x = WeightedSamples::from_values((0..500).map(|_| rng.gen_range(0.0..1.0)));
+        let y = WeightedSamples::from_values((0..500).map(|_| rng.gen_range(0.3..1.3)));
+        assert!(ks_two_sample(&x, &y, ALPHA).rejected);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn invalid_alpha_panics() {
+        let x = WeightedSamples::from_values([1.0]);
+        let _ = ks_two_sample(&x, &x, 1.0);
+    }
+}

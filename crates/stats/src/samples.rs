@@ -1,0 +1,206 @@
+//! Weighted sample collections.
+//!
+//! Owl's trace features are naturally *weighted*: a memory-address histogram
+//! stores `(offset, access count)` pairs, and a control-flow histogram stores
+//! `(transition id, traversal count)` pairs. Expanding counts into repeated
+//! raw samples would defeat the paper's scalability goal, so every statistic
+//! in this crate operates on [`WeightedSamples`] directly.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiset of real-valued observations with integer multiplicities.
+///
+/// The sample values are kept sorted, which lets the ECDF and KS machinery
+/// run in a single linear merge pass.
+///
+/// # Example
+///
+/// ```
+/// use owl_stats::WeightedSamples;
+///
+/// let s = WeightedSamples::from_pairs([(2.0, 3), (1.0, 1)]);
+/// assert_eq!(s.total_weight(), 4);
+/// assert_eq!(s.min(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WeightedSamples {
+    /// Sorted by value; weights are strictly positive.
+    pairs: Vec<(f64, u64)>,
+    total: u64,
+}
+
+impl WeightedSamples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sample set from `(value, weight)` pairs.
+    ///
+    /// Pairs with zero weight are dropped; duplicate values are coalesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN — NaN has no place in an empirical
+    /// distribution and would poison every downstream comparison.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, u64)>,
+    {
+        let mut v: Vec<(f64, u64)> = pairs.into_iter().filter(|&(_, w)| w > 0).collect();
+        assert!(
+            v.iter().all(|(x, _)| !x.is_nan()),
+            "NaN sample value in WeightedSamples"
+        );
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after assert"));
+        let mut coalesced: Vec<(f64, u64)> = Vec::with_capacity(v.len());
+        for (x, w) in v {
+            match coalesced.last_mut() {
+                Some(last) if last.0 == x => last.1 += w,
+                _ => coalesced.push((x, w)),
+            }
+        }
+        let total = coalesced.iter().map(|&(_, w)| w).sum();
+        Self {
+            pairs: coalesced,
+            total,
+        }
+    }
+
+    /// Builds a sample set of unit-weight observations.
+    pub fn from_values<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        Self::from_pairs(values.into_iter().map(|x| (x, 1)))
+    }
+
+    /// The distinct sample values with their multiplicities, sorted by value.
+    pub fn pairs(&self) -> &[(f64, u64)] {
+        &self.pairs
+    }
+
+    /// Total multiplicity (the `n` that enters the KS threshold).
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The smallest observed value, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.pairs.first().map(|&(x, _)| x)
+    }
+
+    /// The largest observed value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.pairs.last().map(|&(x, _)| x)
+    }
+
+    /// The weighted mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: f64 = self.pairs.iter().map(|&(x, w)| x * w as f64).sum();
+        Some(sum / self.total as f64)
+    }
+
+    /// The weighted (population) variance, or `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let ss: f64 = self
+            .pairs
+            .iter()
+            .map(|&(x, w)| (x - mean).powi(2) * w as f64)
+            .sum();
+        Some(ss / self.total as f64)
+    }
+
+    /// Merges another sample set into this one, summing multiplicities.
+    pub fn merge(&mut self, other: &WeightedSamples) {
+        if other.is_empty() {
+            return;
+        }
+        let merged = Self::from_pairs(
+            self.pairs
+                .iter()
+                .copied()
+                .chain(other.pairs.iter().copied()),
+        );
+        *self = merged;
+    }
+}
+
+impl FromIterator<(f64, u64)> for WeightedSamples {
+    fn from_iter<I: IntoIterator<Item = (f64, u64)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+impl FromIterator<f64> for WeightedSamples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_duplicates_and_sorts() {
+        let s = WeightedSamples::from_pairs([(3.0, 2), (1.0, 1), (3.0, 5), (2.0, 0)]);
+        assert_eq!(s.pairs(), &[(1.0, 1), (3.0, 7)]);
+        assert_eq!(s.total_weight(), 8);
+    }
+
+    #[test]
+    fn empty_statistics_are_none() {
+        let s = WeightedSamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn mean_and_variance_match_hand_computation() {
+        // Observations: 1, 1, 4 → mean 2, variance ((1-2)^2*2 + (4-2)^2)/3 = 2
+        let s = WeightedSamples::from_pairs([(1.0, 2), (4.0, 1)]);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.variance(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_sums_weights() {
+        let mut a = WeightedSamples::from_pairs([(1.0, 1), (2.0, 2)]);
+        let b = WeightedSamples::from_pairs([(2.0, 3), (5.0, 1)]);
+        a.merge(&b);
+        assert_eq!(a.pairs(), &[(1.0, 1), (2.0, 5), (5.0, 1)]);
+        assert_eq!(a.total_weight(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_values_are_rejected() {
+        let _ = WeightedSamples::from_values([f64::NAN]);
+    }
+
+    #[test]
+    fn from_values_gives_unit_weights() {
+        let s = WeightedSamples::from_values([2.0, 2.0, 1.0]);
+        assert_eq!(s.pairs(), &[(1.0, 1), (2.0, 2)]);
+    }
+
+    #[test]
+    fn min_max() {
+        let s = WeightedSamples::from_values([5.0, -1.0, 3.0]);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the statistical core.
+
+use owl_stats::{ks_two_sample, welch_t_test, Ecdf, Histogram, WeightedSamples};
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = WeightedSamples> {
+    prop::collection::vec((-1_000i64..1_000, 1u64..20), 1..64)
+        .prop_map(|v| WeightedSamples::from_pairs(v.into_iter().map(|(x, w)| (x as f64, w))))
+}
+
+proptest! {
+    /// An ECDF is monotone non-decreasing and bounded by [0, 1].
+    #[test]
+    fn ecdf_is_monotone_and_bounded(s in arb_samples()) {
+        let e = Ecdf::from_samples(&s);
+        let mut prev = 0.0;
+        for &(x, f) in e.steps() {
+            prop_assert!(f >= prev, "non-monotone at {x}");
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-12, "ECDF must end at 1");
+    }
+
+    /// The KS distance is symmetric and within [0, 1].
+    #[test]
+    fn ks_statistic_symmetric_and_bounded(a in arb_samples(), b in arb_samples()) {
+        let xy = ks_two_sample(&a, &b, 0.95);
+        let yx = ks_two_sample(&b, &a, 0.95);
+        prop_assert!((xy.statistic - yx.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&xy.statistic));
+        prop_assert!((0.0..=1.0).contains(&xy.p_value));
+    }
+
+    /// A sample never deviates from itself.
+    #[test]
+    fn ks_self_test_never_rejects(a in arb_samples()) {
+        let out = ks_two_sample(&a, &a, 0.95);
+        prop_assert_eq!(out.statistic, 0.0);
+        prop_assert!(!out.rejected);
+    }
+
+    /// Splitting one sample into scaled copies keeps the distribution, so the
+    /// KS statistic of a sample vs. its k-fold duplicate is zero.
+    #[test]
+    fn ks_invariant_under_weight_scaling(a in arb_samples(), k in 2u64..5) {
+        let scaled = WeightedSamples::from_pairs(
+            a.pairs().iter().map(|&(x, w)| (x, w * k)),
+        );
+        let out = ks_two_sample(&a, &scaled, 0.95);
+        prop_assert_eq!(out.statistic, 0.0);
+    }
+
+    /// Merging histograms is commutative and preserves totals.
+    #[test]
+    fn histogram_merge_commutes(
+        a in prop::collection::vec((0u64..100, 1u64..10), 0..32),
+        b in prop::collection::vec((0u64..100, 1u64..10), 0..32),
+    ) {
+        let ha: Histogram = a.iter().copied().collect();
+        let hb: Histogram = b.iter().copied().collect();
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.total(), ha.total() + hb.total());
+    }
+
+    /// Welch's t statistic is antisymmetric in its arguments.
+    #[test]
+    fn welch_antisymmetric(a in arb_samples(), b in arb_samples()) {
+        let xy = welch_t_test(&a, &b, 4.5);
+        let yx = welch_t_test(&b, &a, 4.5);
+        if xy.statistic.is_finite() {
+            prop_assert!((xy.statistic + yx.statistic).abs() < 1e-9);
+        }
+        prop_assert_eq!(xy.rejected, yx.rejected);
+    }
+
+    /// `eval` agrees with the brute-force definition of the ECDF.
+    #[test]
+    fn ecdf_eval_matches_definition(s in arb_samples(), t in -1_200i64..1_200) {
+        let e = Ecdf::from_samples(&s);
+        let t = t as f64;
+        let le: u64 = s.pairs().iter().filter(|&&(x, _)| x <= t).map(|&(_, w)| w).sum();
+        let expected = le as f64 / s.total_weight() as f64;
+        prop_assert!((e.eval(t) - expected).abs() < 1e-12);
+    }
+}

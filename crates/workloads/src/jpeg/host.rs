@@ -1,0 +1,240 @@
+//! Host-side JPEG building blocks: synthetic images, the reference
+//! DCT/quantisation, and the reference run-length/category coder.
+//!
+//! The reference implementations mirror the GPU kernels operation-for-
+//! operation (same separable passes, same constant order) so the tests can
+//! compare outputs exactly.
+
+use crate::util::rng;
+use rand::Rng;
+
+/// The standard JPEG luminance quantisation table (Annex K.1), zig-zag
+/// *unordered* (natural row-major order).
+pub const QUANT: [f32; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0, //
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, //
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0, //
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, //
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// Zig-zag scan order: position `i` of the scan reads natural index
+/// `ZIGZAG[i]`.
+pub const ZIGZAG: [u32; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// The 1-D DCT-II basis coefficients `c(u)·cos((2x+1)uπ/16) / 2`,
+/// organised as `BASIS[u][x]` — shared by host reference and kernels.
+pub fn dct_basis() -> [[f32; 8]; 8] {
+    let mut basis = [[0.0f32; 8]; 8];
+    for (u, row) in basis.iter_mut().enumerate() {
+        let cu = if u == 0 {
+            (1.0f64 / 2.0f64.sqrt()) as f32
+        } else {
+            1.0
+        };
+        for (x, b) in row.iter_mut().enumerate() {
+            *b = (cu as f64 * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                / 2.0) as f32;
+        }
+    }
+    basis
+}
+
+/// A deterministic synthetic grayscale image: banded gradients plus seeded
+/// noise (the COCO-2014 stand-in; only statistical variability matters).
+pub fn synthetic_image(seed: u64, h: usize, w: usize) -> Vec<u8> {
+    let mut r = rng(seed ^ 0x1147);
+    (0..h * w)
+        .map(|i| {
+            let (y, x) = (i / w, i % w);
+            let gradient = ((x * 200 / w.max(1)) + (y * 31 / h.max(1))) as u32;
+            let noise: u32 = r.gen_range(0..24);
+            (gradient + noise).min(255) as u8
+        })
+        .collect()
+}
+
+/// Reference forward DCT + quantisation of one 8×8 block (level-shifted by
+/// −128), mirroring the kernel's separable pass order exactly.
+pub fn dct_quant_block(pixels: &[f32; 64]) -> [i32; 64] {
+    let basis = dct_basis();
+    // Row pass: tmp[u][y] over x.
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for x in 0..8 {
+                acc += pixels[y * 8 + x] * basis[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Column pass + quantisation.
+    let mut out = [0i32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * basis[v][y];
+            }
+            out[v * 8 + u] = (acc / QUANT[v * 8 + u] + 0.5).floor() as i32;
+        }
+    }
+    out
+}
+
+/// Reference inverse: dequantise + IDCT, mirroring the decode kernel.
+pub fn dequant_idct_block(coeffs: &[i32; 64]) -> [f32; 64] {
+    let basis = dct_basis();
+    let deq: Vec<f32> = coeffs
+        .iter()
+        .zip(QUANT.iter())
+        .map(|(&c, &q)| c as f32 * q)
+        .collect();
+    // Column pass.
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for v in 0..8 {
+                acc += deq[v * 8 + u] * basis[v][y];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Row pass.
+    let mut out = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f32;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * basis[u][x];
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+/// One run-length/category symbol of the reference entropy coder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RleSymbol {
+    /// Zero run length preceding the coefficient.
+    pub run: u32,
+    /// Magnitude category (bit length of |value|).
+    pub size: u32,
+    /// The coefficient value.
+    pub value: i32,
+}
+
+/// Reference zig-zag + run-length + magnitude-category coding of one block
+/// (the Huffman-symbol stream without the bit packing).
+pub fn rle_block(coeffs: &[i32; 64]) -> Vec<RleSymbol> {
+    let mut out = Vec::new();
+    let mut run = 0u32;
+    for &zz in ZIGZAG.iter() {
+        let c = coeffs[zz as usize];
+        if c == 0 {
+            run += 1;
+        } else {
+            let mut mag = c.unsigned_abs();
+            let mut size = 0u32;
+            while mag != 0 {
+                size += 1;
+                mag >>= 1;
+            }
+            out.push(RleSymbol {
+                run,
+                size,
+                value: c,
+            });
+            run = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in ZIGZAG.iter() {
+            assert!(!seen[z as usize], "duplicate {z}");
+            seen[z as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let pixels = [100.0f32 - 128.0; 64];
+        let coeffs = dct_quant_block(&pixels);
+        // DC = 8 * (-28) / 16 = -14.
+        assert_eq!(coeffs[0], -14);
+        assert!(coeffs[1..].iter().all(|&c| c == 0), "{coeffs:?}");
+    }
+
+    #[test]
+    fn dct_idct_roundtrip_within_quantisation_error() {
+        let img = synthetic_image(3, 8, 8);
+        let mut px = [0.0f32; 64];
+        for (i, &p) in img.iter().enumerate() {
+            px[i] = f32::from(p) - 128.0;
+        }
+        let back = dequant_idct_block(&dct_quant_block(&px));
+        for (a, b) in px.iter().zip(back.iter()) {
+            // Coarse quantisation: generous bound, still catches transform
+            // bugs (which produce errors of hundreds).
+            assert!((a - b).abs() < 40.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rle_empty_and_dense() {
+        let zeros = [0i32; 64];
+        assert!(rle_block(&zeros).is_empty());
+        let mut dc_only = [0i32; 64];
+        dc_only[0] = -5;
+        let syms = rle_block(&dc_only);
+        assert_eq!(
+            syms,
+            vec![RleSymbol {
+                run: 0,
+                size: 3,
+                value: -5
+            }]
+        );
+    }
+
+    #[test]
+    fn rle_counts_runs_in_zigzag_order() {
+        let mut coeffs = [0i32; 64];
+        coeffs[0] = 1; // zigzag position 0
+        coeffs[16] = 3; // zigzag position 3 (runs past 1 and 8)
+        let syms = rle_block(&coeffs);
+        assert_eq!(syms.len(), 2);
+        assert_eq!(syms[0], RleSymbol { run: 0, size: 1, value: 1 });
+        assert_eq!(syms[1], RleSymbol { run: 2, size: 2, value: 3 });
+    }
+
+    #[test]
+    fn synthetic_images_are_deterministic_and_varied() {
+        let a = synthetic_image(1, 16, 16);
+        assert_eq!(a, synthetic_image(1, 16, 16));
+        assert_ne!(a, synthetic_image(2, 16, 16));
+        // Not constant.
+        assert!(a.iter().any(|&p| p != a[0]));
+    }
+}

@@ -1,0 +1,27 @@
+//! GPU applications under test for the Owl detector.
+//!
+//! One module per evaluation target of the paper:
+//!
+//! * [`aes`] / [`rsa`] — the Libgpucrypto cryptographic workloads,
+//! * [`torch`] — a mini tensor library standing in for PyTorch,
+//! * [`jpeg`] — a mini JPEG codec standing in for nvJPEG,
+//! * [`dummy`] — the synthetic S-box program of the Fig. 5 scalability
+//!   experiment.
+//!
+//! Every workload implements [`owl_core::TracedProgram`] so the detector
+//! can drive it with fixed and random secret inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod coalescing;
+pub mod dummy;
+pub mod histogram;
+pub mod jpeg;
+pub mod mlp;
+pub mod render;
+pub mod rsa;
+pub mod search;
+pub mod torch;
+pub mod util;

@@ -1,0 +1,123 @@
+//! A minimal host-side tensor for the mini-torch workloads.
+
+use crate::util::{bytes_to_f32s, f32s_to_bytes, seeded_f32s};
+use owl_host::{Device, DevicePtr, HostError};
+
+/// A dense `f32` tensor with row-major layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn new(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor { shape, data }
+    }
+
+    /// An all-zero tensor.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A seeded random tensor with values in `[lo, hi)`.
+    pub fn random(shape: impl Into<Vec<usize>>, seed: u64, lo: f32, hi: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: seeded_f32s(seed, n, lo, hi),
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The underlying values.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Copies the tensor into a fresh device allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates copy failures.
+    pub fn upload(&self, dev: &mut Device) -> Result<DevicePtr, HostError> {
+        let ptr = dev.malloc(self.numel() * 4);
+        dev.memcpy_h2d(ptr, &f32s_to_bytes(&self.data))?;
+        Ok(ptr)
+    }
+
+    /// Reads `numel` values back from a device allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates copy failures.
+    pub fn download(dev: &Device, ptr: DevicePtr, numel: usize) -> Result<Vec<f32>, HostError> {
+        let mut bytes = vec![0u8; numel * 4];
+        dev.memcpy_d2h(ptr, &mut bytes)?;
+        Ok(bytes_to_f32s(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::new([2, 3], vec![1.0; 6]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        let z = Tensor::zeros([4]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn mismatched_shape_panics() {
+        let _ = Tensor::new([2, 2], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = Tensor::random([8], 1, -1.0, 1.0);
+        let b = Tensor::random([8], 1, -1.0, 1.0);
+        let c = Tensor::random([8], 2, -1.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let t = Tensor::random([16], 7, -2.0, 2.0);
+        let mut dev = Device::new();
+        let ptr = t.upload(&mut dev).unwrap();
+        let back = Tensor::download(&dev, ptr, 16).unwrap();
+        assert_eq!(back, t.data());
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared helpers for workload input generation.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic pseudo-random bytes for the given seed.
+pub fn seeded_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic pseudo-random `f32`s in `[lo, hi)` for the given seed.
+pub fn seeded_f32s(seed: u64, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A deterministic RNG for ad-hoc draws.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Packs an `f32` slice into little-endian bytes (device upload format).
+pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Unpacks little-endian bytes into `f32`s (device readback format).
+pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_bytes_deterministic() {
+        assert_eq!(seeded_bytes(3, 8), seeded_bytes(3, 8));
+        assert_ne!(seeded_bytes(3, 8), seeded_bytes(4, 8));
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let v = vec![1.5f32, -0.25, 1e10];
+        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn seeded_f32s_in_range() {
+        for v in seeded_f32s(9, 100, -2.0, 3.0) {
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+}

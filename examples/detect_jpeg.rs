@@ -1,0 +1,34 @@
+//! The nvJPEG stand-in: the encoder's entropy stage leaks, the decoder is
+//! constant-flow.
+//!
+//! ```text
+//! cargo run --release --example detect_jpeg
+//! ```
+
+use owl::core::{detect, OwlConfig, TracedProgram};
+use owl::workloads::jpeg::{synthetic_image, JpegDecode, JpegEncode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = OwlConfig {
+        runs: 60,
+        ..OwlConfig::default()
+    };
+
+    println!("== JPEG encode (16x16 secret image) ==");
+    let enc = JpegEncode::new(16, 16);
+    let images: Vec<Vec<u8>> = (0..4).map(|s| synthetic_image(s, 16, 16)).collect();
+    let detection = detect(&enc, &images, &config)?;
+    println!("verdict: {:?}", detection.verdict);
+    println!("{}", detection.report);
+
+    println!("== JPEG decode (secret coefficients) ==");
+    let dec = JpegDecode::new(16, 16);
+    let coeffs: Vec<Vec<i32>> = (0..4).map(|s| dec.random_input(s)).collect();
+    let detection = detect(&dec, &coeffs, &config)?;
+    println!("verdict: {:?}", detection.verdict);
+    println!(
+        "input classes: {} — identical traces mean no observable dependence",
+        detection.filter.classes.len()
+    );
+    Ok(())
+}

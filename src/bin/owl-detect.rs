@@ -1,0 +1,262 @@
+//! `owl-detect` — run the Owl detector against any bundled workload.
+//!
+//! ```text
+//! owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] [--json]
+//!
+//! workloads:
+//!   aes-ttable | aes-scan | rsa-sqm | rsa-ladder
+//!   torch:<relu|sigmoid|tanh|softmax|maxpool2d|avgpool2d|conv2d|linear|
+//!          mseloss|nllloss|crossentropy|repr|embedding|layernorm>
+//!   jpeg-encode | jpeg-decode | jpeg-encode-fixed
+//!   dummy[:<threads>] | noise | histogram | histogram-oblivious
+//!   search | search-fixed | mlp | coalescing | render
+//! ```
+//!
+//! Exit code 0 = no leak found, 1 = leaks found, 2 = usage/runtime error.
+
+use owl::core::{detect, Detection, OwlConfig, TestMethod, TracedProgram, Verdict};
+use owl::workloads::aes::{AesScan, AesTTable};
+use owl::workloads::coalescing::CoalescingStride;
+use owl::workloads::dummy::{DummySbox, NoiseDummy};
+use owl::workloads::histogram::{HistogramDirect, HistogramOblivious};
+use owl::workloads::jpeg::{synthetic_image, JpegDecode, JpegEncode, JpegEncodeFixedLength};
+use owl::workloads::mlp::{MlpHiddenWidth, WIDTHS};
+use owl::workloads::render::GlyphRender;
+use owl::workloads::rsa::{RsaLadder, RsaSquareMultiply};
+use owl::workloads::search::{BinarySearchEarlyExit, BinarySearchFixedDepth};
+use owl::workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    workload: String,
+    runs: usize,
+    alpha: f64,
+    method: TestMethod,
+    aslr_seed: Option<u64>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().ok_or("missing workload name")?;
+    let mut opts = Options {
+        workload,
+        runs: 60,
+        alpha: 0.95,
+        method: TestMethod::Ks,
+        aslr_seed: None,
+        json: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => {
+                opts.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--runs needs a number")?;
+            }
+            "--alpha" => {
+                opts.alpha = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--alpha needs a number in (0,1)")?;
+            }
+            "--welch" => opts.method = TestMethod::Welch,
+            "--aslr" => {
+                opts.aslr_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--aslr needs a seed")?,
+                );
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_detection<P: TracedProgram>(
+    program: &P,
+    inputs: &[P::Input],
+    opts: &Options,
+) -> Result<Detection<P::Input>, String> {
+    detect(
+        program,
+        inputs,
+        &OwlConfig {
+            runs: opts.runs,
+            alpha: opts.alpha,
+            method: opts.method,
+            aslr_seed: opts.aslr_seed,
+            ..OwlConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn report<I>(name: &str, detection: &Detection<I>, opts: &Options) -> ExitCode {
+    if opts.json {
+        let payload = serde_json::json!({
+            "workload": name,
+            "verdict": format!("{:?}", detection.verdict),
+            "classes": detection.filter.classes.len(),
+            "report": detection.report,
+            "total_ms": detection.stats.total_time.as_secs_f64() * 1e3,
+        });
+        println!("{}", serde_json::to_string_pretty(&payload).expect("json"));
+    } else {
+        println!("workload: {name}");
+        println!("verdict: {:?}", detection.verdict);
+        println!(
+            "classes: {} | traces for evidence: {} | total {:?}",
+            detection.filter.classes.len(),
+            detection.stats.evidence_traces,
+            detection.stats.total_time
+        );
+        print!("{}", detection.report);
+    }
+    if detection.verdict == Verdict::Leaky {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn torch_kind(name: &str) -> Option<TorchOpKind> {
+    Some(match name {
+        "relu" => TorchOpKind::Relu,
+        "sigmoid" => TorchOpKind::Sigmoid,
+        "tanh" => TorchOpKind::Tanh,
+        "softmax" => TorchOpKind::Softmax,
+        "maxpool2d" => TorchOpKind::MaxPool2d,
+        "avgpool2d" => TorchOpKind::AvgPool2d,
+        "conv2d" => TorchOpKind::Conv2d,
+        "linear" => TorchOpKind::Linear,
+        "mseloss" => TorchOpKind::MseLoss,
+        "nllloss" => TorchOpKind::NllLoss,
+        "crossentropy" => TorchOpKind::CrossEntropy,
+        "repr" => TorchOpKind::TensorRepr,
+        "embedding" => TorchOpKind::Embedding,
+        "layernorm" => TorchOpKind::LayerNorm,
+        _ => return None,
+    })
+}
+
+fn dispatch(opts: &Options) -> Result<ExitCode, String> {
+    let name = opts.workload.clone();
+    let aes_keys = [[0u8; 16], [0xffu8; 16], *b"owl-sca-detector", [0x3c; 16]];
+    let rsa_exps = [0x8000_0001u64, 0xffff_ffff, 0x0f0f_0f0f, 3];
+    match name.as_str() {
+        "aes-ttable" => {
+            let w = AesTTable::new(32);
+            Ok(report(&name, &run_detection(&w, &aes_keys, opts)?, opts))
+        }
+        "aes-scan" => {
+            let w = AesScan::with_rounds(32, 2);
+            Ok(report(&name, &run_detection(&w, &aes_keys, opts)?, opts))
+        }
+        "rsa-sqm" => {
+            let w = RsaSquareMultiply::new(32);
+            Ok(report(&name, &run_detection(&w, &rsa_exps, opts)?, opts))
+        }
+        "rsa-ladder" => {
+            let w = RsaLadder::new(32);
+            Ok(report(&name, &run_detection(&w, &rsa_exps, opts)?, opts))
+        }
+        "jpeg-encode" => {
+            let w = JpegEncode::new(16, 16);
+            let inputs: Vec<Vec<u8>> = (0..4).map(|s| synthetic_image(s, 16, 16)).collect();
+            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+        }
+        "jpeg-decode" => {
+            let w = JpegDecode::new(16, 16);
+            let inputs: Vec<Vec<i32>> = (0..4).map(|s| w.random_input(s)).collect();
+            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+        }
+        "jpeg-encode-fixed" => {
+            let w = JpegEncodeFixedLength::new(16, 16);
+            let inputs: Vec<Vec<u8>> = (0..4).map(|s| synthetic_image(s, 16, 16)).collect();
+            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+        }
+        "noise" => {
+            let w = NoiseDummy::new();
+            Ok(report(&name, &run_detection(&w, &[1, 2, 3], opts)?, opts))
+        }
+        "histogram" => {
+            let w = HistogramDirect::new(64);
+            let inputs: Vec<Vec<u8>> = (0..4).map(|s| w.random_input(s)).collect();
+            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+        }
+        "histogram-oblivious" => {
+            let w = HistogramOblivious::new(64);
+            let inputs: Vec<Vec<u8>> = (0..4).map(|s| w.random_input(s)).collect();
+            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+        }
+        "search" => {
+            let w = BinarySearchEarlyExit::new(32);
+            let keys: Vec<u64> = (0..5).map(|s| w.random_input(s)).collect();
+            Ok(report(&name, &run_detection(&w, &keys, opts)?, opts))
+        }
+        "search-fixed" => {
+            let w = BinarySearchFixedDepth::new(32);
+            let keys: Vec<u64> = (0..5).map(|s| w.random_input(s)).collect();
+            Ok(report(&name, &run_detection(&w, &keys, opts)?, opts))
+        }
+        "mlp" => {
+            let w = MlpHiddenWidth::new();
+            Ok(report(&name, &run_detection(&w, &WIDTHS.map(|x| x), opts)?, opts))
+        }
+        "render" => {
+            let w = GlyphRender::new();
+            let texts: Vec<Vec<u8>> = (0..4).map(|s| w.random_input(s)).collect();
+            Ok(report(&name, &run_detection(&w, &texts, opts)?, opts))
+        }
+        "coalescing" => {
+            let w = CoalescingStride::new();
+            Ok(report(&name, &run_detection(&w, &[1, 33, 65, 97], opts)?, opts))
+        }
+        other => {
+            if let Some(rest) = other.strip_prefix("dummy") {
+                let elems = rest
+                    .strip_prefix(':')
+                    .map(|v| v.parse().map_err(|_| "bad dummy size"))
+                    .transpose()?
+                    .unwrap_or(64);
+                let w = DummySbox::new(elems);
+                return Ok(report(other, &run_detection(&w, &[1, 2, 3, 4], opts)?, opts));
+            }
+            if let Some(op) = other.strip_prefix("torch:").and_then(torch_kind) {
+                let w = TorchFunction::new(op);
+                let mut inputs: Vec<TorchInput> =
+                    (0..4).map(|s| w.random_input(7000 + s)).collect();
+                if op == TorchOpKind::TensorRepr {
+                    inputs.push(TorchInput::Tensor(Tensor::zeros([
+                        owl::workloads::torch::function::VEC_N,
+                    ])));
+                }
+                return Ok(report(other, &run_detection(&w, &inputs, opts)?, opts));
+            }
+            Err(format!("unknown workload {other}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] [--json]");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

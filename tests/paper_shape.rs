@@ -1,0 +1,72 @@
+//! One sweep over the paper's twelve PyTorch functions asserting the full
+//! Table III shape programmatically: each function's verdict must match
+//! its ground-truth leakiness (`TorchOpKind::expected_leaky`), and leaky
+//! functions must leak through the right channel.
+
+use owl::core::{detect, LeakKind, OwlConfig, TracedProgram, Verdict};
+use owl::workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
+
+#[test]
+fn paper_torch_sweep_matches_ground_truth() {
+    for kind in TorchOpKind::PAPER {
+        let f = TorchFunction::new(kind);
+        let mut inputs: Vec<TorchInput> = (0..4).map(|s| f.random_input(4000 + s)).collect();
+        if kind == TorchOpKind::TensorRepr {
+            inputs.push(TorchInput::Tensor(Tensor::zeros([
+                owl::workloads::torch::function::VEC_N,
+            ])));
+        }
+        let detection = detect(
+            &f,
+            &inputs,
+            &OwlConfig {
+                runs: 30,
+                ..OwlConfig::default()
+            },
+        )
+        .expect("detection");
+        assert_eq!(
+            detection.verdict == Verdict::Leaky,
+            kind.expected_leaky(),
+            "{kind:?}: {}",
+            detection.report
+        );
+        if kind.expected_leaky() {
+            // Kernel leak for the serialization special case, data flow for
+            // the label gathers.
+            let expected_kind = if kind == TorchOpKind::TensorRepr {
+                LeakKind::Kernel
+            } else {
+                LeakKind::DataFlow
+            };
+            assert!(
+                detection.report.count(expected_kind) >= 1,
+                "{kind:?} must leak via {expected_kind}: {}",
+                detection.report
+            );
+        }
+    }
+}
+
+#[test]
+fn extension_ops_match_ground_truth_too() {
+    for kind in [TorchOpKind::Embedding, TorchOpKind::LayerNorm] {
+        let f = TorchFunction::new(kind);
+        let inputs: Vec<TorchInput> = (0..4).map(|s| f.random_input(5000 + s)).collect();
+        let detection = detect(
+            &f,
+            &inputs,
+            &OwlConfig {
+                runs: 30,
+                ..OwlConfig::default()
+            },
+        )
+        .expect("detection");
+        assert_eq!(
+            detection.verdict == Verdict::Leaky,
+            kind.expected_leaky(),
+            "{kind:?}: {}",
+            detection.report
+        );
+    }
+}
