@@ -88,10 +88,8 @@ pub fn host_only_detect<P: TracedProgram>(
                         .zip(&obs)
                         .position(|(a, b)| a != b)
                         .unwrap_or_else(|| reference.len().min(obs.len()));
-                    report.first_difference = Some((
-                        reference.get(idx).cloned(),
-                        obs.get(idx).cloned(),
-                    ));
+                    report.first_difference =
+                        Some((reference.get(idx).cloned(), obs.get(idx).cloned()));
                 }
             }
         }

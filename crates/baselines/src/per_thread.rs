@@ -97,7 +97,10 @@ impl KernelHook for PerThreadTracer {
                 cta: warp.cta,
                 thread: warp.warp * ws + lane,
             };
-            self.traces.entry(key).or_default().push(ThreadEvent::Block(bb.0));
+            self.traces
+                .entry(key)
+                .or_default()
+                .push(ThreadEvent::Block(bb.0));
         }
     }
 
@@ -109,10 +112,11 @@ impl KernelHook for PerThreadTracer {
                 cta: warp.cta,
                 thread: warp.warp * ws + u32::from(lane),
             };
-            self.traces
-                .entry(key)
-                .or_default()
-                .push(ThreadEvent::Mem(event.bb.0, event.inst_idx, addr));
+            self.traces.entry(key).or_default().push(ThreadEvent::Mem(
+                event.bb.0,
+                event.inst_idx,
+                addr,
+            ));
         }
     }
 }

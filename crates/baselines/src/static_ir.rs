@@ -134,8 +134,7 @@ impl<'p> Analyzer<'p> {
                 changed
             }
             InstOp::Sel { dst, pred, a, b } => {
-                let t = self
-                    .preds[usize::from(pred.0)]
+                let t = self.preds[usize::from(pred.0)]
                     .join(self.operand(*a))
                     .join(self.operand(*b));
                 self.set_reg(*dst, t)
@@ -290,10 +289,7 @@ mod tests {
         // address mixes a Data-tainted base pointer with a Tid index, so
         // the naive lattice reports Data.)
         let report = analyze_kernel(&clean_kernel());
-        assert!(
-            report.count(FindingKind::DataAddress) >= 2,
-            "{report:?}"
-        );
+        assert!(report.count(FindingKind::DataAddress) >= 2, "{report:?}");
     }
 
     #[test]

@@ -7,7 +7,10 @@ use owl_dcfg::{myers_align, Adcfg, AdcfgBuilder};
 use owl_stats::{ks_two_sample, welch_t_test, WeightedSamples};
 use std::time::Duration;
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(20);
     g.warm_up_time(Duration::from_millis(300));

@@ -1,8 +1,11 @@
 //! Criterion benches for the Table IV phase costs: trace collection per
-//! workload, evidence merging, and the distribution tests.
+//! workload, evidence merging, the distribution tests, and the evidence
+//! phase's serial-vs-parallel wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use owl_core::{leakage_test, record_trace, AnalysisConfig, Evidence, TracedProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owl_core::{
+    detect, leakage_test, record_trace, AnalysisConfig, Evidence, OwlConfig, TracedProgram,
+};
 use owl_workloads::aes::AesTTable;
 use owl_workloads::dummy::DummySbox;
 use owl_workloads::jpeg::JpegEncode;
@@ -75,5 +78,49 @@ fn bench_evidence_and_tests(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_trace_collection, bench_evidence_and_tests);
+/// The tentpole speedup: one full detection (force-analysis, so phase 3
+/// always runs) at increasing worker counts. By the determinism contract
+/// the reports are bit-identical across the sweep; only the evidence-phase
+/// wall time should move.
+fn bench_parallel_evidence(c: &mut Criterion) {
+    let mut g = quick(c);
+
+    let aes = AesTTable::new(32);
+    let keys = [[0u8; 16], [0x3cu8; 16]];
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize, 2, 4, cores];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    for workers in worker_counts {
+        g.bench_with_input(
+            BenchmarkId::new("evidence/detect-aes-workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    detect(
+                        &aes,
+                        &keys,
+                        &OwlConfig {
+                            runs: 10,
+                            parallelism: workers,
+                            force_analysis: true,
+                            ..OwlConfig::default()
+                        },
+                    )
+                    .expect("detection")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_collection,
+    bench_evidence_and_tests,
+    bench_parallel_evidence
+);
 criterion_main!(benches);

@@ -29,7 +29,10 @@ fn main() {
     println!("Fig. 5 — trace size growth by input size");
     println!();
     println!("(a) dummy S-box: threads grow with input, distinct addresses saturate");
-    println!("{:>10} {:>14} {:>12} {:>12}", "threads", "total", "kernels", "mallocs");
+    println!(
+        "{:>10} {:>14} {:>12} {:>12}",
+        "threads", "total", "kernels", "mallocs"
+    );
     let dummy_sizes: Vec<usize> = if large {
         vec![64, 256, 1024, 4096, 16384, 65536, 131072]
     } else {
@@ -50,7 +53,10 @@ fn main() {
 
     println!();
     println!("(b) JPEG encode: every thread contributes fresh pixel addresses → linear");
-    println!("{:>10} {:>10} {:>14} {:>12} {:>12}", "pixels", "threads", "total", "kernels", "mallocs");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12} {:>12}",
+        "pixels", "threads", "total", "kernels", "mallocs"
+    );
     let jpeg_sides: Vec<usize> = if large {
         vec![16, 32, 64, 128, 256]
     } else {
@@ -80,6 +86,10 @@ fn main() {
     for seed in [1u64, 2, 3, 4] {
         let input = f.random_input(seed);
         let trace = record_trace(&f, &input).expect("trace");
-        println!("{:>10} {:>14}", format!("seed {seed}"), fmt_bytes(trace.size_bytes()));
+        println!(
+            "{:>10} {:>14}",
+            format!("seed {seed}"),
+            fmt_bytes(trace.size_bytes())
+        );
     }
 }

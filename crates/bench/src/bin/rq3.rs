@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- DATA per-thread scalability ---------------------------------------
     println!();
     println!("[DATA, per-thread tracing] memory for one run:");
-    println!("  {:>9} {:>14} {:>14} {:>8}", "threads", "owl", "per-thread", "ratio");
+    println!(
+        "  {:>9} {:>14} {:>14} {:>8}",
+        "threads", "owl", "per-thread", "ratio"
+    );
     for elems in [256usize, 4096, 65536] {
         let d = DummySbox::new(elems);
         let owl_bytes = record_trace(&d, &1)?.size_bytes();
@@ -75,8 +78,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let f = TorchFunction::new(kind);
         let inputs: Vec<TorchInput> = (0..3).map(|s| f.random_input(100 + s)).collect();
-        let owl_verdict = detect(&f, &inputs, &OwlConfig { runs: 30, ..OwlConfig::default() })?
-            .verdict;
+        let owl_verdict = detect(
+            &f,
+            &inputs,
+            &OwlConfig {
+                runs: 30,
+                ..OwlConfig::default()
+            },
+        )?
+        .verdict;
         if owl_verdict != Verdict::Leaky {
             owl_clean += 1;
         }

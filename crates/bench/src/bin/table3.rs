@@ -17,10 +17,10 @@
 use owl_bench::leak_row;
 use owl_core::TracedProgram;
 use owl_workloads::aes::{AesScan, AesTTable};
+use owl_workloads::coalescing::CoalescingStride;
 use owl_workloads::histogram::{HistogramDirect, HistogramOblivious};
 use owl_workloads::jpeg::{synthetic_image, JpegDecode, JpegEncode, JpegEncodeFixedLength};
 use owl_workloads::mlp::{MlpHiddenWidth, WIDTHS};
-use owl_workloads::coalescing::CoalescingStride;
 use owl_workloads::render::GlyphRender;
 use owl_workloads::rsa::{RsaLadder, RsaSquareMultiply};
 use owl_workloads::search::{BinarySearchEarlyExit, BinarySearchFixedDepth};
@@ -30,10 +30,7 @@ fn runs_from_args() -> usize {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--runs" {
-            return args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--runs N");
+            return args.next().and_then(|v| v.parse().ok()).expect("--runs N");
         }
     }
     100 // the paper's setting
@@ -57,7 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(leak_row("libgpucrypto/aes128-ttable", &aes, &keys, runs)?.0);
 
     let scan = AesScan::with_rounds(32, 2);
-    rows.push(leak_row("libgpucrypto/aes128-scan (ct)", &scan, &keys[..3], runs.min(15))?.0);
+    rows.push(
+        leak_row(
+            "libgpucrypto/aes128-scan (ct)",
+            &scan,
+            &keys[..3],
+            runs.min(15),
+        )?
+        .0,
+    );
 
     let exps = [0x8000_0001u64, 0xffff_ffff, 0x0f0f_0f0f, 3];
     let rsa = RsaSquareMultiply::new(32);

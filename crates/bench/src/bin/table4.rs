@@ -25,12 +25,11 @@ struct Row {
     total_ms: f64,
 }
 
-fn measure<P: TracedProgram>(
-    name: &str,
-    program: &P,
-    inputs: &[P::Input],
-    runs: usize,
-) -> Row {
+fn measure<P>(name: &str, program: &P, inputs: &[P::Input], runs: usize) -> Row
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
     // Per-trace cost, measured directly (the Table IV "Trace Collection"
     // columns are per trace).
     let t0 = Instant::now();
@@ -99,20 +98,11 @@ fn main() {
     let coeffs: Vec<Vec<i32>> = (0..3).map(|s| dec.random_input(s)).collect();
     rows.push(measure("jpeg-decode", &dec, &coeffs, runs));
 
-    println!(
-        "Table IV — performance of Owl ({runs} fixed + {runs} random runs per class)"
-    );
+    println!("Table IV — performance of Owl ({runs} fixed + {runs} random runs per class)");
     println!("{:-<108}", "");
     println!(
         "{:<16} | {:>12} {:>10} | {:>7} {:>10} | {:>9} | {:>12} {:>10}",
-        "function",
-        "trace size",
-        "time",
-        "traces",
-        "evidence",
-        "KS tests",
-        "peak RAM*",
-        "total"
+        "function", "trace size", "time", "traces", "evidence", "KS tests", "peak RAM*", "total"
     );
     println!("{:-<108}", "");
     for r in &rows {

@@ -30,12 +30,16 @@ pub struct LeakRow {
 /// # Errors
 ///
 /// Propagates detection failures.
-pub fn leak_row<P: TracedProgram>(
+pub fn leak_row<P>(
     name: &str,
     program: &P,
     inputs: &[P::Input],
     runs: usize,
-) -> Result<(LeakRow, Detection<P::Input>), owl_core::DetectError> {
+) -> Result<(LeakRow, Detection<P::Input>), owl_core::DetectError>
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
     let detection = detect(
         program,
         inputs,

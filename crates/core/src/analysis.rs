@@ -78,11 +78,7 @@ fn normal_sf(x: f64) -> f64 {
     (1.0 / (2.0 * std::f64::consts::PI).sqrt()) * (-x * x / 2.0).exp() * poly
 }
 
-fn run_test(
-    x: &WeightedSamples,
-    y: &WeightedSamples,
-    config: &AnalysisConfig,
-) -> TestOutcome {
+fn run_test(x: &WeightedSamples, y: &WeightedSamples, config: &AnalysisConfig) -> TestOutcome {
     match config.method {
         TestMethod::Ks => {
             let out = ks_two_sample(x, y, config.alpha);
@@ -257,7 +253,13 @@ fn test_matched_invocation(
 
     // Device control-flow test: per node, per eq. (8), the flattened
     // transition matrix histograms.
-    let nodes: BTreeSet<u32> = fi.adcfg.nodes.keys().chain(rj.adcfg.nodes.keys()).copied().collect();
+    let nodes: BTreeSet<u32> = fi
+        .adcfg
+        .nodes
+        .keys()
+        .chain(rj.adcfg.nodes.keys())
+        .copied()
+        .collect();
     for bb in nodes {
         report.tested_nodes += 1;
         let fs = node_transition_samples(&fi.adcfg, bb);
@@ -299,8 +301,7 @@ fn test_matched_invocation(
                     for (jj, (fh, rh)) in fv.iter().zip(rv.iter()).enumerate() {
                         let (fs, rs) = (fh.to_samples(), rh.to_samples());
                         let out = run_test(&fs, &rs, config);
-                        if out.rejected
-                            && worst.map(|(_, p, _, _)| out.p_value < p).unwrap_or(true)
+                        if out.rejected && worst.map(|(_, p, _, _)| out.p_value < p).unwrap_or(true)
                         {
                             worst = Some((
                                 out.statistic,

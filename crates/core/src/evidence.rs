@@ -45,44 +45,75 @@ impl Evidence {
         ev
     }
 
+    /// Evidence of a single run.
+    pub fn from_trace(trace: ProgramTrace) -> Self {
+        let mut mallocs = BTreeMap::new();
+        for m in &trace.mallocs {
+            *mallocs.entry(*m).or_insert(0) += 1;
+        }
+        Evidence {
+            runs: 1,
+            invocations: trace
+                .invocations
+                .into_iter()
+                .map(|inv| EvidenceInvocation {
+                    key: inv.key,
+                    configs: [inv.config].into_iter().collect(),
+                    adcfg: inv.adcfg,
+                    present_runs: 1,
+                })
+                .collect(),
+            mallocs,
+        }
+    }
+
     /// Merges one more run into the evidence (§VII-A steps 1–3).
     pub fn merge_trace(&mut self, trace: ProgramTrace) {
-        self.runs += 1;
-        for m in &trace.mallocs {
-            *self.mallocs.entry(*m).or_insert(0) += 1;
+        self.merge(Evidence::from_trace(trace));
+    }
+
+    /// Merges another evidence into this one: the associative reduction the
+    /// parallel evidence phase relies on.
+    ///
+    /// Invocation sequences are aligned on keys with the Myers algorithm —
+    /// aligned positions merge their A-DCFGs, union their launch configs and
+    /// add presence counts; unaligned positions are kept as-is — and run and
+    /// allocation counts add. For run sets whose invocation sequences align
+    /// consistently (in particular, subsequences of one common sequence with
+    /// at most one distinct insertion per gap), merging partial evidences of
+    /// contiguous run ranges in range order is exactly equivalent to merging
+    /// the runs one at a time, which is what makes chunked parallel
+    /// reduction deterministic.
+    pub fn merge(&mut self, other: Evidence) {
+        self.runs += other.runs;
+        for (m, count) in other.mallocs {
+            *self.mallocs.entry(m).or_insert(0) += count;
         }
 
-        // Align the current evidence sequence with the new run's sequence
-        // on invocation keys.
+        // Align the two invocation sequences on keys.
         let ours: Vec<&InvocationKey> = self.invocations.iter().map(|i| &i.key).collect();
-        let theirs: Vec<&InvocationKey> = trace.invocations.iter().map(|i| &i.key).collect();
+        let theirs: Vec<&InvocationKey> = other.invocations.iter().map(|i| &i.key).collect();
         let ops = myers_align(&ours, &theirs);
 
         let mut old = std::mem::take(&mut self.invocations).into_iter();
-        let mut new = trace.invocations.into_iter();
+        let mut new = other.invocations.into_iter();
         let mut merged = Vec::with_capacity(ops.len());
         for op in ops {
             match op {
                 AlignOp::Match(_, _) => {
                     let mut ours = old.next().expect("alignment covers evidence");
-                    let theirs = new.next().expect("alignment covers trace");
+                    let theirs = new.next().expect("alignment covers other evidence");
                     debug_assert_eq!(ours.key, theirs.key);
                     ours.adcfg.merge(&theirs.adcfg);
-                    ours.configs.insert(theirs.config);
-                    ours.present_runs += 1;
+                    ours.configs.extend(theirs.configs);
+                    ours.present_runs += theirs.present_runs;
                     merged.push(ours);
                 }
                 AlignOp::DeleteA(_) => {
                     merged.push(old.next().expect("alignment covers evidence"));
                 }
                 AlignOp::InsertB(_) => {
-                    let inv = new.next().expect("alignment covers trace");
-                    merged.push(EvidenceInvocation {
-                        key: inv.key,
-                        configs: [inv.config].into_iter().collect(),
-                        adcfg: inv.adcfg,
-                        present_runs: 1,
-                    });
+                    merged.push(new.next().expect("alignment covers other evidence"));
                 }
             }
         }
@@ -152,7 +183,13 @@ mod tests {
     #[test]
     fn extra_invocation_in_some_runs_stays_separate() {
         let base = || trace(vec![inv(1, "a", &[0]), inv(3, "c", &[0])]);
-        let with_extra = || trace(vec![inv(1, "a", &[0]), inv(2, "b", &[0]), inv(3, "c", &[0])]);
+        let with_extra = || {
+            trace(vec![
+                inv(1, "a", &[0]),
+                inv(2, "b", &[0]),
+                inv(3, "c", &[0]),
+            ])
+        };
         let ev = Evidence::from_traces([base(), with_extra(), base(), with_extra()]);
         assert_eq!(ev.runs, 4);
         assert_eq!(ev.invocations.len(), 3);
@@ -203,13 +240,58 @@ mod tests {
     }
 
     #[test]
+    fn chunked_merge_equals_sequential_merge() {
+        // The parallel evidence phase folds contiguous run chunks into
+        // partial evidences and merges the partials in chunk order; the
+        // result must equal the one-run-at-a-time fold.
+        let runs: Vec<ProgramTrace> = (0..10)
+            .map(|r| {
+                let mut invs = vec![inv(1, "a", &[0, (r % 3) as u32 + 1])];
+                if r % 2 == 0 {
+                    invs.push(inv(2, "b", &[0]));
+                }
+                invs.push(inv(3, "c", &[0]));
+                trace(invs)
+            })
+            .collect();
+
+        let sequential = Evidence::from_traces(runs.iter().cloned());
+        for chunk_size in [1usize, 3, 4, 10] {
+            let mut chunked = Evidence::default();
+            for chunk in runs.chunks(chunk_size) {
+                chunked.merge(Evidence::from_traces(chunk.iter().cloned()));
+            }
+            assert_eq!(chunked, sequential, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let some = Evidence::from_traces([trace(vec![inv(1, "a", &[0, 1])])]);
+        let mut empty = Evidence::default();
+        empty.merge(some.clone());
+        assert_eq!(empty, some);
+        let mut some2 = some.clone();
+        some2.merge(Evidence::default());
+        assert_eq!(some2, some);
+    }
+
+    #[test]
     fn merge_order_of_identical_suffix_is_stable() {
         // a,c then a,b,c: b must land between a and c.
         let ev = Evidence::from_traces([
             trace(vec![inv(1, "a", &[0]), inv(3, "c", &[0])]),
-            trace(vec![inv(1, "a", &[0]), inv(2, "b", &[0]), inv(3, "c", &[0])]),
+            trace(vec![
+                inv(1, "a", &[0]),
+                inv(2, "b", &[0]),
+                inv(3, "c", &[0]),
+            ]),
         ]);
-        let names: Vec<&str> = ev.invocations.iter().map(|i| i.key.kernel.as_str()).collect();
+        let names: Vec<&str> = ev
+            .invocations
+            .iter()
+            .map(|i| i.key.kernel.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 }

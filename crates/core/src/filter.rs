@@ -55,10 +55,7 @@ pub fn filter_traces<I: Clone>(inputs: &[I], traces: Vec<ProgramTrace>) -> Filte
     for (idx, (input, trace)) in inputs.iter().zip(traces).enumerate() {
         let digest = trace.digest();
         let candidates = by_digest.entry(digest).or_default();
-        if let Some(&class_idx) = candidates
-            .iter()
-            .find(|&&ci| classes[ci].trace == trace)
-        {
+        if let Some(&class_idx) = candidates.iter().find(|&&ci| classes[ci].trace == trace) {
             classes[class_idx].members.push(idx);
         } else {
             candidates.push(classes.len());

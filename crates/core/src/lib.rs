@@ -80,6 +80,7 @@ pub mod error;
 pub mod evidence;
 pub mod filter;
 pub mod owl;
+mod parallel;
 pub mod program;
 pub mod record;
 pub mod report;
@@ -92,7 +93,7 @@ pub use evidence::Evidence;
 pub use filter::{filter_traces, FilterOutcome, InputClass};
 pub use owl::{detect, Detection, OwlConfig, PhaseStats, Verdict};
 pub use program::TracedProgram;
-pub use record::{record_trace, record_trace_on};
+pub use record::{record_run, record_trace, record_trace_on, RunSpec};
 pub use report::{Leak, LeakKind, LeakLocation, LeakReport};
 pub use trace::{InvocationKey, KernelInvocation, MallocRecord, ProgramTrace};
 pub use tracer::OwlTracer;

@@ -4,11 +4,26 @@ use crate::analysis::{leakage_test, AnalysisConfig, TestMethod};
 use crate::error::DetectError;
 use crate::evidence::Evidence;
 use crate::filter::{filter_traces, FilterOutcome};
+use crate::parallel::parallel_map;
 use crate::program::TracedProgram;
-use crate::record::record_trace_on;
-use owl_host::Device;
+use crate::record::{record_run, RunSpec};
 use crate::report::LeakReport;
 use std::time::{Duration, Instant};
+
+/// Recording stream of the phase-1 user-input recordings.
+const STREAM_USER: u64 = 0;
+/// Recording stream of the shared random evidence `E_rnd`.
+const STREAM_RND: u64 = 1;
+/// Recording stream of input class `class`'s fixed evidence `E_fix`.
+fn fix_stream(class: usize) -> u64 {
+    2 + class as u64
+}
+
+/// Runs per evidence work item: the recording fan-out granularity. Chunk
+/// boundaries depend only on the run count — never on the worker count —
+/// so the partial-evidence merge tree, and therefore the merged evidence,
+/// is bit-identical for every `parallelism` setting.
+const EVIDENCE_CHUNK: usize = 8;
 
 /// Detection parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,8 +45,15 @@ pub struct OwlConfig {
     pub warp_size: u32,
     /// When set, every recording runs on a device with simulated ASLR
     /// derived from this seed (a *different* layout per run), exercising
-    /// the tracer's address normalisation end to end.
+    /// the tracer's address normalisation end to end. Each run's layout is
+    /// a pure function of `(aslr_seed, stream, run_index)`, never of
+    /// recording order.
     pub aslr_seed: Option<u64>,
+    /// Worker threads for the recording and analysis fan-out. Defaults to
+    /// the number of available cores; `1` keeps everything inline on the
+    /// calling thread. Results are bit-identical for every value — the
+    /// evidence merge tree depends only on the run count.
+    pub parallelism: usize,
 }
 
 impl Default for OwlConfig {
@@ -44,6 +66,9 @@ impl Default for OwlConfig {
             method: TestMethod::Ks,
             warp_size: owl_gpu::grid::WARP_SIZE,
             aslr_seed: None,
+            parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -60,6 +85,13 @@ pub struct PhaseStats {
     pub evidence_traces: usize,
     /// Wall time to record + merge the evidence.
     pub evidence_time: Duration,
+    /// Sum of the per-worker recording time of the evidence phase. The
+    /// ratio `evidence_cpu_time / evidence_time` is the observed parallel
+    /// speedup (≈ 1 when `parallelism = 1`).
+    pub evidence_cpu_time: Duration,
+    /// Worker threads actually used by the evidence phase (`parallelism`
+    /// clamped to the number of work items).
+    pub evidence_workers: usize,
     /// Wall time of the distribution tests.
     pub test_time: Duration,
     /// Peak resident trace size proxy: the largest evidence footprint held
@@ -94,6 +126,19 @@ pub struct Detection<I> {
     pub stats: PhaseStats,
 }
 
+/// One evidence-phase work item: a contiguous chunk of run indices for one
+/// recording stream (the shared `E_rnd` or one class's `E_fix`).
+struct EvidenceItem {
+    /// `None` = random evidence, `Some(c)` = class `c`'s fixed evidence.
+    class: Option<usize>,
+    /// The stream the runs belong to.
+    stream: u64,
+    /// First run index of the chunk.
+    start: usize,
+    /// One past the last run index of the chunk.
+    end: usize,
+}
+
 /// Runs the full Owl pipeline on `program` with the given user inputs.
 ///
 /// Phase 1 records one trace per user input; phase 2 groups them into
@@ -103,44 +148,53 @@ pub struct Detection<I> {
 /// the leak tests. Reports of all classes are merged, deduplicated by code
 /// location.
 ///
+/// Recording and analysis fan out across [`OwlConfig::parallelism`] worker
+/// threads. Every recording is a pure function of its `(stream, run_index)`
+/// identity (see [`RunSpec`]), chunk boundaries depend only on the run
+/// count, and partial evidences merge in chunk order — so the returned
+/// report, verdict and evidence are bit-identical for every `parallelism`
+/// value. Each worker owns its simulated device and tracer end to end
+/// (they are deliberately not thread-safe); only the finished, plain-data
+/// traces cross threads.
+///
 /// # Errors
 ///
 /// Returns [`DetectError::NoInputs`] when `user_inputs` is empty, or any
-/// error from the program under test.
+/// error from the program under test (the first error in run order, for
+/// determinism).
 ///
 /// # Example
 ///
 /// See the crate-level documentation.
-pub fn detect<P: TracedProgram>(
+pub fn detect<P>(
     program: &P,
     user_inputs: &[P::Input],
     config: &OwlConfig,
-) -> Result<Detection<P::Input>, DetectError> {
+) -> Result<Detection<P::Input>, DetectError>
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
     if user_inputs.is_empty() {
         return Err(DetectError::NoInputs);
     }
-    // Per-run recording, optionally under a fresh ASLR layout each run.
-    let mut run_counter = 0u64;
-    let mut record = |program: &P, input: &P::Input| {
-        run_counter += 1;
-        let mut device = match config.aslr_seed {
-            None => Device::new(),
-            Some(seed) => Device::with_aslr(seed.wrapping_add(run_counter)),
-        };
-        device.set_launch_options(owl_gpu::exec::LaunchOptions {
-            warp_size: config.warp_size,
-            ..owl_gpu::exec::LaunchOptions::default()
-        });
-        record_trace_on(program, input, &mut device)
+    let workers = config.parallelism.max(1);
+    let spec = |stream, run_index| RunSpec {
+        warp_size: config.warp_size,
+        aslr_seed: config.aslr_seed,
+        stream,
+        run_index: run_index as u64,
     };
     let t_total = Instant::now();
 
-    // Phase 1 + 2: record and filter.
+    // Phase 1 + 2: record one trace per user input (fanned out, collected
+    // in input order) and filter into classes.
     let t0 = Instant::now();
-    let mut traces = Vec::with_capacity(user_inputs.len());
-    for input in user_inputs {
-        traces.push(record(program, input)?);
-    }
+    let traces = parallel_map(workers, user_inputs.len(), |i| {
+        record_run(program, &user_inputs[i], &spec(STREAM_USER, i))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let trace_bytes = traces.iter().map(|t| t.size_bytes()).sum::<usize>() / traces.len().max(1);
     let filter = filter_traces(user_inputs, traces);
     let trace_collection_time = t0.elapsed();
@@ -159,34 +213,76 @@ pub fn detect<P: TracedProgram>(
         });
     }
 
-    // Phase 3: evidence. The random evidence is shared across classes.
+    // Phase 3: evidence. One work item per run chunk, for the shared
+    // random evidence and every class's fixed evidence alike; workers fold
+    // their chunk into a partial [`Evidence`], and the partials merge in
+    // chunk order below.
     let t1 = Instant::now();
-    let mut rnd = Evidence::default();
-    for i in 0..config.runs {
-        let input = program.random_input(config.seed.wrapping_add(i as u64));
-        rnd.merge_trace(record(program, &input)?);
-    }
-    let mut fixes = Vec::with_capacity(filter.classes.len());
-    for class in &filter.classes {
-        let mut fix = Evidence::default();
-        for _ in 0..config.runs {
-            fix.merge_trace(record(program, &class.representative)?);
+    let mut items = Vec::new();
+    for class in std::iter::once(None).chain((0..filter.classes.len()).map(Some)) {
+        let stream = match class {
+            None => STREAM_RND,
+            Some(c) => fix_stream(c),
+        };
+        let mut start = 0;
+        while start < config.runs {
+            let end = (start + EVIDENCE_CHUNK).min(config.runs);
+            items.push(EvidenceItem {
+                class,
+                stream,
+                start,
+                end,
+            });
+            start = end;
         }
-        fixes.push(fix);
+    }
+    let evidence_workers = workers.min(items.len()).max(1);
+    let partials = parallel_map(workers, items.len(), |i| {
+        let item = &items[i];
+        let t = Instant::now();
+        let mut partial = Evidence::default();
+        let outcome = (|| -> Result<(), DetectError> {
+            for run in item.start..item.end {
+                let random_input;
+                let input = match item.class {
+                    None => {
+                        random_input = program.random_input(config.seed.wrapping_add(run as u64));
+                        &random_input
+                    }
+                    Some(c) => &filter.classes[c].representative,
+                };
+                partial.merge_trace(record_run(program, input, &spec(item.stream, run))?);
+            }
+            Ok(())
+        })();
+        (outcome.map(|()| partial), t.elapsed())
+    });
+    let evidence_cpu_time = partials.iter().map(|(_, elapsed)| *elapsed).sum();
+    let mut rnd = Evidence::default();
+    let mut fixes = vec![Evidence::default(); filter.classes.len()];
+    for (item, (result, _)) in items.iter().zip(partials) {
+        let partial = result?;
+        match item.class {
+            None => rnd.merge(partial),
+            Some(c) => fixes[c].merge(partial),
+        }
     }
     let evidence_time = t1.elapsed();
-    let peak_evidence_bytes = evidence_bytes(&rnd)
-        + fixes.iter().map(evidence_bytes).max().unwrap_or(0);
+    let peak_evidence_bytes =
+        evidence_bytes(&rnd) + fixes.iter().map(evidence_bytes).max().unwrap_or(0);
 
-    // Distribution tests.
+    // Distribution tests: one per class, fanned out, merged in class order.
     let t2 = Instant::now();
     let analysis_config = AnalysisConfig {
         alpha: config.alpha,
         method: config.method,
     };
+    let class_reports = parallel_map(workers, fixes.len(), |c| {
+        leakage_test(&fixes[c], &rnd, &analysis_config)
+    });
     let mut report = LeakReport::default();
-    for fix in &fixes {
-        report.merge(&leakage_test(fix, &rnd, &analysis_config));
+    for class_report in &class_reports {
+        report.merge(class_report);
     }
     let test_time = t2.elapsed();
 
@@ -201,6 +297,8 @@ pub fn detect<P: TracedProgram>(
             trace_bytes,
             evidence_traces: config.runs * (1 + filter.classes.len()),
             evidence_time,
+            evidence_cpu_time,
+            evidence_workers,
             test_time,
             peak_evidence_bytes,
             total_time: t_total.elapsed(),

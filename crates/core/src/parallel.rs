@@ -1,0 +1,89 @@
+//! Deterministic work fan-out for the recording and analysis phases.
+//!
+//! The detector's parallelism is deliberately simple: a scoped thread pool
+//! pulling indices off an atomic counter, with results collected into
+//! index-ordered slots. Determinism falls out of the structure — the work
+//! function must be a pure function of its index, and the caller always
+//! receives `[f(0), f(1), …]` regardless of worker count or scheduling.
+//! (A `rayon` dependency would provide the same shape; the workspace
+//! builds without network access, so the ~30 lines are written out.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every index in `0..n` on up to `workers` threads and
+/// returns the results in index order.
+///
+/// With `workers <= 1` or `n <= 1` everything runs inline on the calling
+/// thread — the exact serial behaviour, with no threads spawned.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub(crate) fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = workers.min(n);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every index produces a value")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 4, 16] {
+            let out = parallel_map(workers, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        let out: Vec<u32> = parallel_map(4, 0, |_| unreachable!("no items"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = parallel_map(64, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let ids = parallel_map(4, 64, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            format!("{:?}", std::thread::current().id())
+        });
+        let distinct: std::collections::BTreeSet<String> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected more than one worker thread");
+    }
+}

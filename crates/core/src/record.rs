@@ -30,6 +30,73 @@ pub fn record_trace<P: TracedProgram>(
     record_trace_on(program, input, &mut device)
 }
 
+/// Identity of one detector-driven recording: everything needed to set up
+/// the device deterministically, independent of which thread records the
+/// run or in which order runs execute.
+///
+/// The detector assigns every recording a `(stream, run_index)` pair —
+/// phase-1 user-input recordings, the shared `E_rnd` recordings, and each
+/// class's `E_fix` recordings live in distinct streams — and the simulated
+/// ASLR layout is a pure mix of `(aslr_seed, stream, run_index)`. Two
+/// [`record_run`] calls with equal arguments produce equal traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// SIMT warp width for the recording device.
+    pub warp_size: u32,
+    /// Base ASLR seed (`None` = ASLR off).
+    pub aslr_seed: Option<u64>,
+    /// The recording stream this run belongs to.
+    pub stream: u64,
+    /// The run's index within its stream.
+    pub run_index: u64,
+}
+
+impl RunSpec {
+    /// The per-run ASLR layout seed: a pure function of
+    /// `(aslr_seed, stream, run_index)`, never of recording order.
+    pub fn layout_seed(&self) -> Option<u64> {
+        self.aslr_seed
+            .map(|base| mix64(mix64(base ^ STREAM_SALT.wrapping_mul(self.stream)) ^ self.run_index))
+    }
+}
+
+const STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a bijective avalanche mix.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Records one detector-driven run: a pure function of
+/// `(program, input, spec)`.
+///
+/// Replaces the former order-dependent closure in `detect()` (which seeded
+/// ASLR from a shared incrementing counter): the device layout now derives
+/// from [`RunSpec::layout_seed`], so any thread may record any run in any
+/// order and produce bit-identical traces.
+///
+/// # Errors
+///
+/// See [`record_trace`].
+pub fn record_run<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    spec: &RunSpec,
+) -> Result<ProgramTrace, DetectError> {
+    let mut device = match spec.layout_seed() {
+        None => Device::new(),
+        Some(seed) => Device::with_aslr(seed),
+    };
+    device.set_launch_options(owl_gpu::exec::LaunchOptions {
+        warp_size: spec.warp_size,
+        ..owl_gpu::exec::LaunchOptions::default()
+    });
+    record_trace_on(program, input, &mut device)
+}
+
 /// [`record_trace`] on a caller-provided device (e.g. one with simulated
 /// ASLR enabled, to exercise the normalisation path).
 ///
@@ -150,9 +217,17 @@ mod tests {
 
         fn run(&self, device: &mut Device, input: &u64) -> Result<(), HostError> {
             let buf = device.malloc(8 * 32);
-            device.launch(&self.k1, LaunchConfig::new(1u32, 32u32), &[buf.addr(), *input])?;
+            device.launch(
+                &self.k1,
+                LaunchConfig::new(1u32, 32u32),
+                &[buf.addr(), *input],
+            )?;
             if input % 2 == 1 {
-                device.launch(&self.k2, LaunchConfig::new(1u32, 32u32), &[buf.addr(), *input])?;
+                device.launch(
+                    &self.k2,
+                    LaunchConfig::new(1u32, 32u32),
+                    &[buf.addr(), *input],
+                )?;
             }
             Ok(())
         }
@@ -200,5 +275,43 @@ mod tests {
         let mut dev = Device::with_aslr(42);
         let aslr = record_trace_on(&toy, &5, &mut dev).unwrap();
         assert_eq!(plain, aslr);
+    }
+
+    #[test]
+    fn record_run_is_pure_in_its_spec() {
+        let toy = Toy::new();
+        let spec = RunSpec {
+            warp_size: 32,
+            aslr_seed: Some(7),
+            stream: 3,
+            run_index: 11,
+        };
+        let a = record_run(&toy, &5, &spec).unwrap();
+        let b = record_run(&toy, &5, &spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layout_seed_separates_streams_and_runs() {
+        let spec = |stream, run_index| RunSpec {
+            warp_size: 32,
+            aslr_seed: Some(0xABCD),
+            stream,
+            run_index,
+        };
+        // Distinct (stream, run) pairs get distinct layouts; equal pairs
+        // agree; ASLR off means no layout at all.
+        assert_eq!(spec(0, 5).layout_seed(), spec(0, 5).layout_seed());
+        assert_ne!(spec(0, 5).layout_seed(), spec(1, 5).layout_seed());
+        assert_ne!(spec(0, 5).layout_seed(), spec(0, 6).layout_seed());
+        assert_ne!(spec(1, 0).layout_seed(), spec(2, 0).layout_seed());
+        assert_eq!(
+            RunSpec {
+                aslr_seed: None,
+                ..spec(0, 0)
+            }
+            .layout_seed(),
+            None
+        );
     }
 }

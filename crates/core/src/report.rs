@@ -234,8 +234,13 @@ mod tests {
     #[test]
     fn counts_by_kind() {
         let mut r = LeakReport::default();
-        r.leaks.push(leak(LeakKind::Kernel, LeakLocation::Invocation(key()), 0.0));
-        r.leaks.push(leak(LeakKind::DataFlow, LeakLocation::Instruction(key(), 1, 0), 0.01));
+        r.leaks
+            .push(leak(LeakKind::Kernel, LeakLocation::Invocation(key()), 0.0));
+        r.leaks.push(leak(
+            LeakKind::DataFlow,
+            LeakLocation::Instruction(key(), 1, 0),
+            0.01,
+        ));
         assert_eq!(r.count(LeakKind::Kernel), 1);
         assert_eq!(r.count(LeakKind::DataFlow), 1);
         assert_eq!(r.count(LeakKind::ControlFlow), 0);

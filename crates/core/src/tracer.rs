@@ -99,10 +99,7 @@ impl KernelHook for OwlTracer {
             .lane_addrs
             .iter()
             .map(|&(_, addr)| encode_address(event.space, addr, &table));
-        let builder = self
-            .current
-            .as_mut()
-            .expect("mem_access outside a kernel");
+        let builder = self.current.as_mut().expect("mem_access outside a kernel");
         builder.record_access(warp_key(warp), event.inst_idx, features);
         // The per-event microarchitectural cost (coalescing / bank
         // conflicts) — computed from the *raw* addresses, since the
@@ -184,10 +181,7 @@ mod tests {
         let fb = encode_address(MemSpace::Global, b.addr() + 8, &table);
         assert_ne!(fa, fb, "different allocations, different features");
         // Same offset within the same allocation → same feature.
-        assert_eq!(
-            fa,
-            encode_address(MemSpace::Global, a.addr() + 8, &table)
-        );
+        assert_eq!(fa, encode_address(MemSpace::Global, a.addr() + 8, &table));
         // Shared-space addresses pass through.
         assert_eq!(encode_address(MemSpace::Shared, 40, &table), 40);
     }

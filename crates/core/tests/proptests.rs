@@ -48,11 +48,7 @@ fn build_trace(desc: &[(u8, Vec<u8>, u64)]) -> ProgramTrace {
 
 fn arb_trace_desc() -> impl Strategy<Value = Vec<(u8, Vec<u8>, u64)>> {
     prop::collection::vec(
-        (
-            0u8..4,
-            prop::collection::vec(0u8..5, 1..6),
-            0u64..64,
-        ),
+        (0u8..4, prop::collection::vec(0u8..5, 1..6), 0u64..64),
         1..5,
     )
 }

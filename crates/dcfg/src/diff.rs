@@ -162,14 +162,25 @@ mod tests {
         let a = [1, 2, 3, 4];
         let ops = myers_align(&a, &a);
         assert!(is_valid_alignment(&ops, 4, 4));
-        assert_eq!(ops.iter().filter(|o| matches!(o, AlignOp::Match(..))).count(), 4);
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, AlignOp::Match(..)))
+                .count(),
+            4
+        );
     }
 
     #[test]
     fn empty_sequences() {
         assert!(myers_align::<i32>(&[], &[]).is_empty());
-        assert_eq!(myers_align(&[], &[1, 2]), vec![AlignOp::InsertB(0), AlignOp::InsertB(1)]);
-        assert_eq!(myers_align(&[1, 2], &[]), vec![AlignOp::DeleteA(0), AlignOp::DeleteA(1)]);
+        assert_eq!(
+            myers_align(&[], &[1, 2]),
+            vec![AlignOp::InsertB(0), AlignOp::InsertB(1)]
+        );
+        assert_eq!(
+            myers_align(&[1, 2], &[]),
+            vec![AlignOp::DeleteA(0), AlignOp::DeleteA(1)]
+        );
     }
 
     #[test]
@@ -178,7 +189,9 @@ mod tests {
         assert!(is_valid_alignment(&ops, 3, 3));
         matches_are_equal(&[1, 2, 3], &[2, 3, 4], &ops);
         assert_eq!(
-            ops.iter().filter(|o| matches!(o, AlignOp::Match(..))).count(),
+            ops.iter()
+                .filter(|o| matches!(o, AlignOp::Match(..)))
+                .count(),
             2
         );
     }
@@ -188,7 +201,9 @@ mod tests {
         let ops = myers_align(&[1, 2], &[3, 4, 5]);
         assert!(is_valid_alignment(&ops, 2, 3));
         assert_eq!(
-            ops.iter().filter(|o| matches!(o, AlignOp::Match(..))).count(),
+            ops.iter()
+                .filter(|o| matches!(o, AlignOp::Match(..)))
+                .count(),
             0
         );
     }
@@ -201,7 +216,9 @@ mod tests {
         assert!(is_valid_alignment(&ops, 3, 4));
         matches_are_equal(&a, &b, &ops);
         assert_eq!(
-            ops.iter().filter(|o| matches!(o, AlignOp::Match(..))).count(),
+            ops.iter()
+                .filter(|o| matches!(o, AlignOp::Match(..)))
+                .count(),
             3
         );
     }
@@ -214,7 +231,10 @@ mod tests {
         let ops = myers_align(&a, &b);
         assert!(is_valid_alignment(&ops, a.len(), b.len()));
         matches_are_equal(&a, &b, &ops);
-        let matches = ops.iter().filter(|o| matches!(o, AlignOp::Match(..))).count();
+        let matches = ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Match(..)))
+            .count();
         assert_eq!(matches, 4, "LCS of ABCABBA/CBABAC is 4");
     }
 
@@ -225,7 +245,9 @@ mod tests {
         let ops = myers_align(&a, &b);
         assert!(is_valid_alignment(&ops, 4, 2));
         assert_eq!(
-            ops.iter().filter(|o| matches!(o, AlignOp::Match(..))).count(),
+            ops.iter()
+                .filter(|o| matches!(o, AlignOp::Match(..)))
+                .count(),
             2
         );
     }

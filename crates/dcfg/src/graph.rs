@@ -354,7 +354,11 @@ mod tests {
         assert_eq!(small.node_count(), big.node_count());
         assert_eq!(small.edge_count(), big.edge_count());
         assert_eq!(big.edge(0, 1), 64);
-        assert_eq!(small.size_bytes(), big.size_bytes(), "no growth with warp count");
+        assert_eq!(
+            small.size_bytes(),
+            big.size_bytes(),
+            "no growth with warp count"
+        );
     }
 
     #[test]

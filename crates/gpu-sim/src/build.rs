@@ -628,12 +628,7 @@ impl KernelBuilder {
     }
 
     /// Lanes split on `p` between `then_f` and `else_f`, reconverging after.
-    pub fn if_then_else(
-        &self,
-        p: PredVal,
-        then_f: impl FnOnce(&Self),
-        else_f: impl FnOnce(&Self),
-    ) {
+    pub fn if_then_else(&self, p: PredVal, then_f: impl FnOnce(&Self), else_f: impl FnOnce(&Self)) {
         self.flush_stmt();
         let then_region = self.build_region(then_f);
         let else_region = self.build_region(else_f);

@@ -106,7 +106,11 @@ pub fn format_inst(inst: &Inst) -> String {
             space,
             addr,
             width,
-        } => format!("{dst} = ld.{space}.b{} [{}]", width.bytes() * 8, operand(*addr)),
+        } => format!(
+            "{dst} = ld.{space}.b{} [{}]",
+            width.bytes() * 8,
+            operand(*addr)
+        ),
         InstOp::St {
             space,
             addr,

@@ -93,7 +93,9 @@ impl std::fmt::Display for ExecError {
                 "barrier reached by a diverged warp (cta {} warp {})",
                 warp.cta, warp.warp
             ),
-            ExecError::BarrierDeadlock => write!(f, "barrier deadlock: warp finished while others wait"),
+            ExecError::BarrierDeadlock => {
+                write!(f, "barrier deadlock: warp finished while others wait")
+            }
             ExecError::FuelExhausted => write!(f, "instruction budget exhausted"),
             ExecError::EmptyLaunch => write!(f, "launch has zero threads"),
             ExecError::InvalidWarpSize { warp_size } => {

@@ -252,7 +252,14 @@ mod tests {
 
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(64);
-        launch(&mut mem, &k, LaunchConfig::new(1u32, 40u32), &[o], &mut NullHook).unwrap();
+        launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 40u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap();
         for i in 0..64u64 {
             let expect = if i < 40 { 7 } else { 0 };
             assert_eq!(mem.load(o + i, 1).unwrap(), expect, "byte {i}");
@@ -287,7 +294,14 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(32);
         let mut hook = RecordingHook::default();
-        launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut hook).unwrap();
+        launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[o],
+            &mut hook,
+        )
+        .unwrap();
         for i in 0..32u64 {
             let expect = if i % 2 == 0 { 11 } else { 12 };
             assert_eq!(mem.load(o + i, 1).unwrap(), expect, "byte {i}");
@@ -319,8 +333,14 @@ mod tests {
             let mut mem = DeviceMemory::new();
             let (_, o) = mem.alloc(32);
             let mut hook = RecordingHook::default();
-            launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o, flag], &mut hook)
-                .unwrap();
+            launch(
+                &mut mem,
+                &k,
+                LaunchConfig::new(1u32, 32u32),
+                &[o, flag],
+                &mut hook,
+            )
+            .unwrap();
             assert_eq!(mem.load(o, 1).unwrap(), u64::from(expect_byte));
             // Entry block + exactly one of the two branch blocks.
             assert_eq!(hook.bb_entries.len(), 2, "flag {flag}");
@@ -350,7 +370,14 @@ mod tests {
 
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(8 * 32);
-        launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut NullHook).unwrap();
+        launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap();
         for t in 0..32u64 {
             assert_eq!(mem.load(o + t * 8, 8).unwrap(), t, "lane {t}");
         }
@@ -380,7 +407,14 @@ mod tests {
         for i in 0..32u64 {
             mem.store(a + i * 8, 8, 100 + i).unwrap();
         }
-        launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[a, o], &mut NullHook).unwrap();
+        launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[a, o],
+            &mut NullHook,
+        )
+        .unwrap();
         for i in 0..32u64 {
             assert_eq!(mem.load(o + i * 8, 8).unwrap(), 100 + (31 - i));
         }
@@ -407,7 +441,14 @@ mod tests {
 
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(8 * 64);
-        launch(&mut mem, &k, LaunchConfig::new(1u32, 64u32), &[o], &mut NullHook).unwrap();
+        launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 64u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap();
         for t in 0..64u64 {
             assert_eq!(mem.load(o + t * 8, 8).unwrap(), (t ^ 32) * 2, "thread {t}");
         }
@@ -425,8 +466,14 @@ mod tests {
 
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(8 * 128);
-        let stats = launch(&mut mem, &k, LaunchConfig::new(4u32, 32u32), &[o], &mut NullHook)
-            .unwrap();
+        let stats = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(4u32, 32u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap();
         assert_eq!(stats.ctas, 4);
         assert_eq!(stats.warps, 4);
         for t in 0..128u64 {
@@ -449,7 +496,14 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(32);
         let mut hook = RecordingHook::default();
-        launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut hook).unwrap();
+        launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[o],
+            &mut hook,
+        )
+        .unwrap();
         for i in 0..32u64 {
             assert_eq!(mem.load(o + i, 1).unwrap(), u64::from(i < 5) * 9);
         }
@@ -467,7 +521,13 @@ mod tests {
         let _ = b.mov(0u64);
         let k = b.finish();
         let mut mem = DeviceMemory::new();
-        let err = launch(&mut mem, &k, LaunchConfig::new(0u32, 32u32), &[], &mut NullHook);
+        let err = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(0u32, 32u32),
+            &[],
+            &mut NullHook,
+        );
         assert_eq!(err.unwrap_err(), ExecError::EmptyLaunch);
     }
 
@@ -508,8 +568,14 @@ mod tests {
         let k = b.finish();
         let mut mem = DeviceMemory::new();
         let (_, o) = mem.alloc(64);
-        let err = launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut NullHook)
-            .unwrap_err();
+        let err = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap_err();
         match err {
             ExecError::Memory { space, .. } => assert_eq!(space, crate::isa::MemSpace::Global),
             other => panic!("expected memory fault, got {other:?}"),
@@ -523,8 +589,14 @@ mod tests {
         let _ = b.param(2);
         let k = b.finish();
         let mut mem = DeviceMemory::new();
-        let err = launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[0], &mut NullHook)
-            .unwrap_err();
+        let err = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[0],
+            &mut NullHook,
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             ExecError::ParamOutOfRange {
@@ -550,7 +622,14 @@ mod tests {
         let run = |hook: &mut dyn KernelHook| {
             let mut mem = DeviceMemory::new();
             let (_, o) = mem.alloc(8 * 64);
-            launch(&mut mem, &build(), LaunchConfig::new(2u32, 32u32), &[o], hook).unwrap();
+            launch(
+                &mut mem,
+                &build(),
+                LaunchConfig::new(2u32, 32u32),
+                &[o],
+                hook,
+            )
+            .unwrap();
             (0..64u64)
                 .map(|i| mem.load(o + i * 8, 8).unwrap())
                 .collect::<Vec<_>>()

@@ -117,10 +117,7 @@ mod tests {
         let d = Dim3 { x: 3, y: 4, z: 5 };
         for linear in 0..d.total() {
             let (x, y, z) = d.unlinearize(linear);
-            assert_eq!(
-                u64::from(x) + u64::from(y) * 3 + u64::from(z) * 12,
-                linear
-            );
+            assert_eq!(u64::from(x) + u64::from(y) * 3 + u64::from(z) * 12, linear);
         }
     }
 

@@ -218,14 +218,27 @@ mod tests {
             inst_idx: 0,
             space: MemSpace::Global,
             kind: AccessKind::Read,
-            lane_addrs: addrs.into_iter().enumerate().map(|(l, a)| (l as u8, a)).collect(),
+            lane_addrs: addrs
+                .into_iter()
+                .enumerate()
+                .map(|(l, a)| (l as u8, a))
+                .collect(),
         };
         // All 32 lanes in one 32-byte segment: 1 transaction.
-        assert_eq!(mk((0..32).map(|i| i % 32).collect()).coalesced_transactions(), 1);
+        assert_eq!(
+            mk((0..32).map(|i| i % 32).collect()).coalesced_transactions(),
+            1
+        );
         // Consecutive 4-byte words: 32 lanes over 128 bytes = 4 segments.
-        assert_eq!(mk((0..32).map(|i| i * 4).collect()).coalesced_transactions(), 4);
+        assert_eq!(
+            mk((0..32).map(|i| i * 4).collect()).coalesced_transactions(),
+            4
+        );
         // Fully scattered: one segment per lane.
-        assert_eq!(mk((0..32).map(|i| i * 64).collect()).coalesced_transactions(), 32);
+        assert_eq!(
+            mk((0..32).map(|i| i * 64).collect()).coalesced_transactions(),
+            32
+        );
         assert_eq!(mk(vec![]).coalesced_transactions(), 0);
     }
 
@@ -236,14 +249,27 @@ mod tests {
             inst_idx: 0,
             space: MemSpace::Shared,
             kind: AccessKind::Read,
-            lane_addrs: addrs.into_iter().enumerate().map(|(l, a)| (l as u8, a)).collect(),
+            lane_addrs: addrs
+                .into_iter()
+                .enumerate()
+                .map(|(l, a)| (l as u8, a))
+                .collect(),
         };
         // Stride-1 words: conflict-free.
-        assert_eq!(mk((0..32).map(|i| i * 4).collect()).bank_conflict_degree(), 1);
+        assert_eq!(
+            mk((0..32).map(|i| i * 4).collect()).bank_conflict_degree(),
+            1
+        );
         // Stride-32 words: all lanes on bank 0 → 32-way conflict.
-        assert_eq!(mk((0..32).map(|i| i * 4 * 32).collect()).bank_conflict_degree(), 32);
+        assert_eq!(
+            mk((0..32).map(|i| i * 4 * 32).collect()).bank_conflict_degree(),
+            32
+        );
         // Stride-2 words: 2-way conflicts.
-        assert_eq!(mk((0..32).map(|i| i * 8).collect()).bank_conflict_degree(), 2);
+        assert_eq!(
+            mk((0..32).map(|i| i * 8).collect()).bank_conflict_degree(),
+            2
+        );
         // Broadcast (all lanes one word): conflict-free.
         assert_eq!(mk(vec![40; 32]).bank_conflict_degree(), 1);
     }

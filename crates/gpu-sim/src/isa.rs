@@ -518,7 +518,10 @@ mod tests {
         assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
         assert_eq!(Operand::from(7u64), Operand::Imm(7));
         assert_eq!(Operand::from(-1i64), Operand::Imm(u64::MAX));
-        assert_eq!(Operand::from(1.0f32), Operand::Imm(u64::from(1.0f32.to_bits())));
+        assert_eq!(
+            Operand::from(1.0f32),
+            Operand::Imm(u64::from(1.0f32.to_bits()))
+        );
     }
 
     #[test]

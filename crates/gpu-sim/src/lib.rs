@@ -75,6 +75,8 @@ pub use build::KernelBuilder;
 pub use error::ExecError;
 pub use exec::{launch, launch_with_options, LaunchOptions, LaunchStats};
 pub use grid::{Dim3, LaunchConfig, WARP_SIZE};
-pub use hook::{AccessKind, KernelHook, LaunchInfo, MemAccessEvent, NullHook, RecordingHook, WarpRef};
+pub use hook::{
+    AccessKind, KernelHook, LaunchInfo, MemAccessEvent, NullHook, RecordingHook, WarpRef,
+};
 pub use mem::{AllocId, DeviceMemory};
 pub use program::{BlockId, KernelProgram};

@@ -232,8 +232,7 @@ impl DeviceMemory {
         let base = self.next_base + gap;
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        self.next_base = (base + size as u64).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN
-            + ALLOC_ALIGN;
+        self.next_base = (base + size as u64).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN + ALLOC_ALIGN;
         self.allocs.insert(
             base,
             Allocation {
@@ -398,7 +397,12 @@ mod tests {
     #[test]
     fn linear_memory_roundtrip_widths() {
         let mut m = LinearMemory::new(16);
-        for (w, v) in [(1u64, 0xAA), (2, 0xBBCC), (4, 0xDEAD_BEEF), (8, u64::MAX - 3)] {
+        for (w, v) in [
+            (1u64, 0xAA),
+            (2, 0xBBCC),
+            (4, 0xDEAD_BEEF),
+            (8, u64::MAX - 3),
+        ] {
             m.store(0, w, v).unwrap();
             assert_eq!(m.load(0, w).unwrap(), v & (u64::MAX >> (64 - 8 * w)));
         }

@@ -80,6 +80,11 @@ impl Region {
 }
 
 /// A complete, validated kernel.
+///
+/// Kernel programs are plain data: the parallel evidence phase shares them
+/// freely across recording workers (each worker owns its own `Device`, but
+/// all of them launch the same programs). The assertion below keeps that
+/// contract from silently breaking if a non-`Send`/`Sync` field is added.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelProgram {
     /// Human-readable kernel name (the `__global__` function name).
@@ -97,6 +102,12 @@ pub struct KernelProgram {
     /// Bytes of local (per-thread) memory.
     pub local_mem_bytes: u32,
 }
+
+// Recording workers in `owl-core` borrow kernel programs across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KernelProgram>();
+};
 
 /// Errors detected while validating a [`KernelProgram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,10 +142,16 @@ impl std::fmt::Display for ProgramError {
         match self {
             ProgramError::UnknownBlock(b) => write!(f, "statement references unknown {b}"),
             ProgramError::RegisterOutOfRange { reg, num_regs } => {
-                write!(f, "register r{reg} out of range (kernel declares {num_regs})")
+                write!(
+                    f,
+                    "register r{reg} out of range (kernel declares {num_regs})"
+                )
             }
             ProgramError::PredicateOutOfRange { pred, num_preds } => {
-                write!(f, "predicate p{pred} out of range (kernel declares {num_preds})")
+                write!(
+                    f,
+                    "predicate p{pred} out of range (kernel declares {num_preds})"
+                )
             }
             ProgramError::SyncInsideDivergentRegion => {
                 write!(f, "barrier inside a divergent region")
@@ -236,14 +253,18 @@ impl KernelProgram {
                 self.check_operand(*a)?;
                 self.check_operand(*b)
             }
-            Ld { dst, space, addr, .. } => {
+            Ld {
+                dst, space, addr, ..
+            } => {
                 if *space == crate::isa::MemSpace::Texture {
                     return Err(ProgramError::LdStOnTextureSpace);
                 }
                 self.check_reg(*dst)?;
                 self.check_operand(*addr)
             }
-            St { space, addr, value, .. } => {
+            St {
+                space, addr, value, ..
+            } => {
                 if *space == crate::isa::MemSpace::Texture {
                     return Err(ProgramError::LdStOnTextureSpace);
                 }
@@ -366,7 +387,10 @@ mod tests {
         }));
         assert_eq!(
             k.validate(),
-            Err(ProgramError::RegisterOutOfRange { reg: 5, num_regs: 1 })
+            Err(ProgramError::RegisterOutOfRange {
+                reg: 5,
+                num_regs: 1
+            })
         );
     }
 
@@ -380,7 +404,10 @@ mod tests {
         }]);
         assert_eq!(
             k.validate(),
-            Err(ProgramError::PredicateOutOfRange { pred: 3, num_preds: 1 })
+            Err(ProgramError::PredicateOutOfRange {
+                pred: 3,
+                num_preds: 1
+            })
         );
     }
 

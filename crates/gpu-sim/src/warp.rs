@@ -21,7 +21,9 @@
 use crate::error::ExecError;
 use crate::grid::Dim3;
 use crate::hook::{AccessKind, KernelHook, MemAccessEvent, WarpRef};
-use crate::isa::{AtomicOp, BinOp, CmpOp, Inst, InstOp, MemSpace, Operand, Pred, Reg, ShflMode, UnOp};
+use crate::isa::{
+    AtomicOp, BinOp, CmpOp, Inst, InstOp, MemSpace, Operand, Pred, Reg, ShflMode, UnOp,
+};
 use crate::mem::{DeviceMemory, LinearMemory};
 use crate::program::{BlockId, KernelProgram, Region, Stmt};
 
@@ -462,15 +464,15 @@ impl<'p> WarpExec<'p> {
                 for lane in lanes {
                     let a = self.eval(lane, *addr);
                     lane_addrs.push((lane as u8, a));
-                    let v = self
-                        .load(*space, lane, a, w, env)
-                        .map_err(|source| ExecError::Memory {
-                            bb,
-                            inst_idx,
-                            warp: self.warp_ref,
-                            space: *space,
-                            source,
-                        })?;
+                    let v =
+                        self.load(*space, lane, a, w, env)
+                            .map_err(|source| ExecError::Memory {
+                                bb,
+                                inst_idx,
+                                warp: self.warp_ref,
+                                space: *space,
+                                source,
+                            })?;
                     self.set_reg(lane, *dst, v);
                 }
                 env.hook.mem_access(
@@ -550,15 +552,15 @@ impl<'p> WarpExec<'p> {
                     let a = self.eval(lane, *addr);
                     let v = self.eval(lane, *value);
                     lane_addrs.push((lane as u8, a));
-                    let old = self
-                        .load(*space, lane, a, w, env)
-                        .map_err(|source| ExecError::Memory {
-                            bb,
-                            inst_idx,
-                            warp: self.warp_ref,
-                            space: *space,
-                            source,
-                        })?;
+                    let old =
+                        self.load(*space, lane, a, w, env)
+                            .map_err(|source| ExecError::Memory {
+                                bb,
+                                inst_idx,
+                                warp: self.warp_ref,
+                                space: *space,
+                                source,
+                            })?;
                     let mask = if w == 8 { u64::MAX } else { (1 << (8 * w)) - 1 };
                     let new = match op {
                         AtomicOp::Add => old.wrapping_add(v) & mask,
@@ -566,14 +568,15 @@ impl<'p> WarpExec<'p> {
                         AtomicOp::MaxU => old.max(v & mask),
                         AtomicOp::Exch => v & mask,
                     };
-                    self.store(*space, lane, a, w, new, env)
-                        .map_err(|source| ExecError::Memory {
+                    self.store(*space, lane, a, w, new, env).map_err(|source| {
+                        ExecError::Memory {
                             bb,
                             inst_idx,
                             warp: self.warp_ref,
                             space: *space,
                             source,
-                        })?;
+                        }
+                    })?;
                     self.set_reg(lane, *dst, old);
                 }
                 env.hook.mem_access(
@@ -630,13 +633,7 @@ impl<'p> WarpExec<'p> {
                 // write back — `texture` borrows env.mem, disjoint from
                 // self and env.hook.
                 let coords: Vec<(usize, i64, i64)> = lanes
-                    .map(|lane| {
-                        (
-                            lane,
-                            self.eval(lane, *x) as i64,
-                            self.eval(lane, *y) as i64,
-                        )
-                    })
+                    .map(|lane| (lane, self.eval(lane, *x) as i64, self.eval(lane, *y) as i64))
                     .collect();
                 let mut lane_addrs = Vec::new();
                 for (lane, xi, yi) in coords {
@@ -822,9 +819,15 @@ mod tests {
         assert_eq!(eval_bin(BinOp::DivU, 7, 2), Some(3));
         assert_eq!(eval_bin(BinOp::DivU, 7, 0), None);
         assert_eq!(eval_bin(BinOp::RemU, 7, 0), None);
-        assert_eq!(eval_bin(BinOp::MinS, (-1i64) as u64, 1), Some((-1i64) as u64));
+        assert_eq!(
+            eval_bin(BinOp::MinS, (-1i64) as u64, 1),
+            Some((-1i64) as u64)
+        );
         assert_eq!(eval_bin(BinOp::MaxU, (-1i64) as u64, 1), Some(u64::MAX));
-        assert_eq!(eval_bin(BinOp::Sar, (-8i64) as u64, 2), Some((-2i64) as u64));
+        assert_eq!(
+            eval_bin(BinOp::Sar, (-8i64) as u64, 2),
+            Some((-2i64) as u64)
+        );
     }
 
     #[test]

@@ -97,7 +97,14 @@ fn local_memory_is_thread_private() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8 * 64);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 64u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 64u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     for t in 0..64u64 {
         assert_eq!(mem.load(o + t * 8, 8).unwrap(), t + t * 7, "thread {t}");
     }
@@ -110,7 +117,14 @@ fn local_memory_out_of_bounds_faults() {
     b.store_local(8u64, 1u64, MemWidth::B8);
     let k = b.finish();
     let mut mem = DeviceMemory::new();
-    assert!(launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[], &mut NullHook).is_err());
+    assert!(launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[],
+        &mut NullHook
+    )
+    .is_err());
 }
 
 #[test]
@@ -130,7 +144,14 @@ fn float_specials_propagate_ieee754() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(16);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 1u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 1u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     assert_eq!(
         f32::from_bits(mem.load(o, 4).unwrap() as u32),
         f32::INFINITY
@@ -155,7 +176,14 @@ fn float_floor_and_conversions() {
     let k = b.finish();
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8 * 4);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 1u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 1u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     for (i, (x, want)) in cases.iter().enumerate() {
         assert_eq!(
             mem.load(o + (i as u64) * 8, 8).unwrap() as i64,
@@ -175,7 +203,14 @@ fn narrow_stores_do_not_clobber_neighbours() {
     let k = b.finish();
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 1u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 1u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     assert_eq!(mem.load(o, 8).unwrap(), 0x1122_CDEF_55AB_7788);
 }
 
@@ -192,7 +227,14 @@ fn unary_not_and_neg() {
     let k = b.finish();
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(24);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 1u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 1u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     assert_eq!(mem.load(o, 8).unwrap(), u64::MAX);
     assert_eq!(mem.load(o + 8, 8).unwrap() as i64, -5);
     assert_eq!(f32::from_bits(mem.load(o + 16, 4).unwrap() as u32), 3.5);
@@ -239,7 +281,14 @@ fn texture_fetch_clamps_to_edge() {
     // 4x1 texture with distinct texels.
     mem.bind_texture(4, 1, &[10, 20, 30, 40]);
     let (_, o) = mem.alloc(32);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 8u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 8u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     let got: Vec<u64> = (0..8).map(|i| mem.load(o + i, 1).unwrap()).collect();
     // tid 0,1 → clamp left (10); tid 2..5 → 10,20,30,40; tid 6,7 → clamp right.
     assert_eq!(got, vec![10, 10, 10, 20, 30, 40, 40, 40]);
@@ -252,8 +301,14 @@ fn unbound_texture_slot_faults() {
     let _ = b.tex2d(3, 0u64, 0u64);
     let k = b.finish();
     let mut mem = DeviceMemory::new();
-    let err = launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[], &mut NullHook)
-        .unwrap_err();
+    let err = launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[],
+        &mut NullHook,
+    )
+    .unwrap_err();
     assert_eq!(err, owl_gpu::ExecError::UnboundTexture { slot: 3 });
 }
 

@@ -10,7 +10,13 @@ use proptest::prelude::*;
 
 /// Builds a kernel: `out[i] = (in[i] * mul + add) ^ xor_mask`, then if
 /// `out[i] < pivot` double it, else add one; then `k` loop rounds of `+= 3`.
-fn arithmetic_kernel(mul: u64, add: u64, xor_mask: u64, pivot: u64, rounds: u64) -> owl_gpu::KernelProgram {
+fn arithmetic_kernel(
+    mul: u64,
+    add: u64,
+    xor_mask: u64,
+    pivot: u64,
+    rounds: u64,
+) -> owl_gpu::KernelProgram {
     let b = KernelBuilder::new("arith");
     let inp = b.param(0);
     let out = b.param(1);

@@ -20,7 +20,14 @@ fn atomic_add_accumulates_across_warps_and_ctas() {
 
     let mut mem = DeviceMemory::new();
     let (_, c) = mem.alloc(8);
-    launch(&mut mem, &k, LaunchConfig::new(2u32, 64u32), &[c], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(2u32, 64u32),
+        &[c],
+        &mut NullHook,
+    )
+    .unwrap();
     assert_eq!(mem.load(c, 8).unwrap(), (0..128u64).sum::<u64>());
 }
 
@@ -39,7 +46,14 @@ fn atomic_returns_old_value_in_lane_order() {
     let mut mem = DeviceMemory::new();
     let (_, c) = mem.alloc(8);
     let (_, o) = mem.alloc(8 * 32);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[c, o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[c, o],
+        &mut NullHook,
+    )
+    .unwrap();
     for i in 0..32u64 {
         assert_eq!(mem.load(o + i * 8, 8).unwrap(), i, "lane {i}");
     }
@@ -73,8 +87,14 @@ fn atomic_min_max_exch() {
         mem.load(c, 8).unwrap()
     };
     let values: Vec<u64> = (0..32u64).map(|i| (i * 37 + 5) % 100).collect();
-    assert_eq!(run(AtomicOp::MinU, u64::MAX, &values), *values.iter().min().unwrap());
-    assert_eq!(run(AtomicOp::MaxU, 0, &values), *values.iter().max().unwrap());
+    assert_eq!(
+        run(AtomicOp::MinU, u64::MAX, &values),
+        *values.iter().min().unwrap()
+    );
+    assert_eq!(
+        run(AtomicOp::MaxU, 0, &values),
+        *values.iter().max().unwrap()
+    );
     // Exch in lane order ends with the last lane's value.
     assert_eq!(run(AtomicOp::Exch, 7, &values), values[31]);
 }
@@ -95,7 +115,14 @@ fn atomic_on_shared_memory() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 64u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 64u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     assert_eq!(mem.load(o, 8).unwrap(), 128, "64 threads x 2");
 }
 
@@ -118,7 +145,14 @@ fn atomic_events_have_atomic_kind() {
     let mut mem = DeviceMemory::new();
     let (_, c) = mem.alloc(8);
     let mut hook = RecordingHook::default();
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[c], &mut hook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[c],
+        &mut hook,
+    )
+    .unwrap();
     assert_eq!(hook.accesses.len(), 1);
     assert_eq!(hook.accesses[0].1.kind, AccessKind::Atomic);
     assert_eq!(hook.accesses[0].1.lane_addrs.len(), 32);
@@ -141,7 +175,14 @@ fn shfl_xor_butterfly_reduction_sums_warp() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8 * 32);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     let total: u64 = (0..32).sum();
     for i in 0..32u64 {
         assert_eq!(mem.load(o + i * 8, 8).unwrap(), total, "lane {i}");
@@ -160,9 +201,20 @@ fn shfl_idx_broadcasts_lane_zero() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8 * 32);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     for i in 0..32u64 {
-        assert_eq!(mem.load(o + i * 8, 8).unwrap(), 0, "lane {i} gets lane 0's 0");
+        assert_eq!(
+            mem.load(o + i * 8, 8).unwrap(),
+            0,
+            "lane {i} gets lane 0's 0"
+        );
     }
 }
 
@@ -178,7 +230,14 @@ fn ballot_reports_predicate_mask() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8 * 32);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     for i in 0..32u64 {
         assert_eq!(mem.load(o + i * 8, 8).unwrap(), 0b11111, "lane {i}");
     }
@@ -200,7 +259,14 @@ fn ballot_restricted_to_active_lanes() {
 
     let mut mem = DeviceMemory::new();
     let (_, o) = mem.alloc(8 * 32);
-    launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[o], &mut NullHook).unwrap();
+    launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[o],
+        &mut NullHook,
+    )
+    .unwrap();
     // Even lanes < 8: lanes 0,2,4,6 → mask 0b01010101.
     assert_eq!(mem.load(o, 8).unwrap(), 0b0101_0101);
     // Odd lanes never stored.
@@ -215,8 +281,14 @@ fn atomic_bounds_fault_reports_memory_error() {
     let k = b.finish();
     let mut mem = DeviceMemory::new();
     let (_, c) = mem.alloc(8);
-    let err = launch(&mut mem, &k, LaunchConfig::new(1u32, 32u32), &[c], &mut NullHook)
-        .unwrap_err();
+    let err = launch(
+        &mut mem,
+        &k,
+        LaunchConfig::new(1u32, 32u32),
+        &[c],
+        &mut NullHook,
+    )
+    .unwrap_err();
     assert!(matches!(err, ExecError::Memory { .. }), "{err:?}");
 }
 

@@ -65,18 +65,26 @@ fn run_at(warp_size: u32, inputs: &[u64]) -> Vec<u64> {
         options(warp_size),
     )
     .unwrap();
-    (0..n).map(|i| mem.load(o + 8 * i as u64, 8).unwrap()).collect()
+    (0..n)
+        .map(|i| mem.load(o + 8 * i as u64, 8).unwrap())
+        .collect()
 }
 
 #[test]
 fn results_are_warp_width_independent() {
-    let inputs: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9e37_79b9) % 1000).collect();
+    let inputs: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9) % 1000)
+        .collect();
     let reference: Vec<u64> = inputs
         .iter()
         .map(|&v| v * 3 + u64::from(v.count_ones()))
         .collect();
     for warp_size in [4u32, 8, 16, 32, 64] {
-        assert_eq!(run_at(warp_size, &inputs), reference, "warp size {warp_size}");
+        assert_eq!(
+            run_at(warp_size, &inputs),
+            reference,
+            "warp size {warp_size}"
+        );
     }
 }
 
@@ -145,7 +153,11 @@ fn ballot_and_shuffle_work_at_wave64() {
     let p = b.setp(CmpOp::LtU, tid, 40u64);
     let ballot = b.ballot(p);
     b.store_global(b.add(out, b.mul(tid, 8u64)), v, MemWidth::B8);
-    b.store_global(b.add(out, b.add(512u64, b.mul(tid, 8u64))), ballot, MemWidth::B8);
+    b.store_global(
+        b.add(out, b.add(512u64, b.mul(tid, 8u64))),
+        ballot,
+        MemWidth::B8,
+    );
     let k = b.finish();
 
     let mut mem = DeviceMemory::new();

@@ -196,7 +196,25 @@ impl From<ExecError> for HostError {
 
 /// A shareable device-side instrumentation hook, attached by a tracer and
 /// invoked on every launch.
+///
+/// Threading contract: hooks are deliberately *thread-local* (`Rc`, not
+/// `Arc`) — a [`Device`] and everything attached to it belong to exactly
+/// one thread for their whole life. Parallel detection (see
+/// `owl_core::detect`) is structured around that: each worker owns a
+/// fresh device + tracer end to end and only the finished, plain-data
+/// traces cross threads ([`HostEvent`] and [`CallSite`] are `Send`/`Sync`;
+/// the compile-time assertions below pin this).
 pub type SharedHook = Rc<RefCell<dyn KernelHook>>;
+
+// What may cross threads (recorded observations) and what must not (the
+// live device and its hooks). Breaking either breaks parallel detection,
+// so fail the build rather than a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CallSite>();
+    assert_send_sync::<HostEvent>();
+    assert_send_sync::<HostError>();
+};
 
 /// A live snapshot of the device's global allocations, shared with tracers
 /// so they can normalise raw addresses to `(allocation, offset)` *during*
@@ -488,13 +506,19 @@ mod tests {
         let buf = dev.malloc(8 * 32);
         let init: Vec<u8> = (0..32u64).flat_map(|i| i.to_le_bytes()).collect();
         dev.memcpy_h2d(buf, &init).unwrap();
-        dev.launch(&square_kernel(), LaunchConfig::new(1u32, 32u32), &[buf.addr()])
-            .unwrap();
+        dev.launch(
+            &square_kernel(),
+            LaunchConfig::new(1u32, 32u32),
+            &[buf.addr()],
+        )
+        .unwrap();
         let mut out = vec![0u8; 8 * 32];
         dev.memcpy_d2h(buf, &mut out).unwrap();
         for i in 0..32u64 {
             let v = u64::from_le_bytes(
-                out[(i * 8) as usize..(i * 8 + 8) as usize].try_into().unwrap(),
+                out[(i * 8) as usize..(i * 8 + 8) as usize]
+                    .try_into()
+                    .unwrap(),
             );
             assert_eq!(v, i * i);
         }
@@ -504,8 +528,12 @@ mod tests {
     fn host_events_record_malloc_and_launch() {
         let mut dev = Device::new();
         let buf = dev.malloc(256);
-        dev.launch(&square_kernel(), LaunchConfig::new(1u32, 32u32), &[buf.addr()])
-            .unwrap();
+        dev.launch(
+            &square_kernel(),
+            LaunchConfig::new(1u32, 32u32),
+            &[buf.addr()],
+        )
+        .unwrap();
         assert_eq!(dev.events().len(), 2);
         match &dev.events()[0] {
             HostEvent::Malloc { size, .. } => assert_eq!(*size, 256),
@@ -528,8 +556,10 @@ mod tests {
         let mut dev = Device::new();
         let buf = dev.malloc(8 * 32);
         let k = square_kernel();
-        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()]).unwrap(); // site A
-        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()]).unwrap(); // site B
+        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()])
+            .unwrap(); // site A
+        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()])
+            .unwrap(); // site B
         let sites: Vec<CallSite> = dev
             .events()
             .iter()
@@ -570,8 +600,12 @@ mod tests {
         let hook = Rc::new(RefCell::new(RecordingHook::default()));
         dev.attach_hook(hook.clone());
         let buf = dev.malloc(8 * 32);
-        dev.launch(&square_kernel(), LaunchConfig::new(1u32, 32u32), &[buf.addr()])
-            .unwrap();
+        dev.launch(
+            &square_kernel(),
+            LaunchConfig::new(1u32, 32u32),
+            &[buf.addr()],
+        )
+        .unwrap();
         let rec = hook.borrow();
         assert_eq!(rec.kernels, vec!["square".to_string()]);
         assert!(!rec.accesses.is_empty());
@@ -584,8 +618,12 @@ mod tests {
         dev.attach_hook(hook.clone());
         dev.detach_hook();
         let buf = dev.malloc(8 * 32);
-        dev.launch(&square_kernel(), LaunchConfig::new(1u32, 32u32), &[buf.addr()])
-            .unwrap();
+        dev.launch(
+            &square_kernel(),
+            LaunchConfig::new(1u32, 32u32),
+            &[buf.addr()],
+        )
+        .unwrap();
         assert!(hook.borrow().kernels.is_empty());
     }
 
@@ -635,12 +673,15 @@ mod tests {
         let table: Vec<u8> = (0..32u32).flat_map(|i| (i * 7).to_le_bytes()).collect();
         dev.memcpy_to_symbol(&table);
         let buf = dev.malloc(4 * 32);
-        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()]).unwrap();
+        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()])
+            .unwrap();
         let mut out = vec![0u8; 4 * 32];
         dev.memcpy_d2h(buf, &mut out).unwrap();
         for i in 0..32u32 {
             let v = u32::from_le_bytes(
-                out[(i * 4) as usize..(i * 4 + 4) as usize].try_into().unwrap(),
+                out[(i * 4) as usize..(i * 4 + 4) as usize]
+                    .try_into()
+                    .unwrap(),
             );
             assert_eq!(v, i * 7);
         }
@@ -650,12 +691,20 @@ mod tests {
     fn clear_events_resets_sequence() {
         let mut dev = Device::new();
         let buf = dev.malloc(8 * 32);
-        dev.launch(&square_kernel(), LaunchConfig::new(1u32, 32u32), &[buf.addr()])
-            .unwrap();
+        dev.launch(
+            &square_kernel(),
+            LaunchConfig::new(1u32, 32u32),
+            &[buf.addr()],
+        )
+        .unwrap();
         dev.clear_events();
         assert!(dev.events().is_empty());
-        dev.launch(&square_kernel(), LaunchConfig::new(1u32, 32u32), &[buf.addr()])
-            .unwrap();
+        dev.launch(
+            &square_kernel(),
+            LaunchConfig::new(1u32, 32u32),
+            &[buf.addr()],
+        )
+        .unwrap();
         match dev.events() {
             [HostEvent::Launch { seq, .. }] => assert_eq!(*seq, 0),
             other => panic!("expected one launch, got {other:?}"),
@@ -667,9 +716,11 @@ mod tests {
         let mut dev = Device::new();
         let buf = dev.malloc(8 * 32);
         let k = square_kernel();
-        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()]).unwrap();
+        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()])
+            .unwrap();
         let after_one = dev.total_stats().instructions;
-        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()]).unwrap();
+        dev.launch(&k, LaunchConfig::new(1u32, 32u32), &[buf.addr()])
+            .unwrap();
         assert_eq!(dev.total_stats().instructions, after_one * 2);
         assert_eq!(dev.total_stats().warps, 2);
     }

@@ -33,16 +33,33 @@ pub struct KsOutcome {
 impl KsOutcome {
     /// An outcome representing two identical (or both-empty) samples — the
     /// strongest possible non-rejection.
-    pub fn identical(n: u64, m: u64) -> Self {
+    ///
+    /// When both sample sizes are positive the reported `threshold` is the
+    /// real eq. (3) value for `(n, m, alpha)`, so identical-sample outcomes
+    /// stay comparable with computed ones in reports; only when a sample is
+    /// empty (the threshold is undefined) does it fall back to
+    /// `f64::INFINITY`.
+    pub fn identical(n: u64, m: u64, alpha: f64) -> Self {
+        let threshold = if n > 0 && m > 0 {
+            ks_threshold(n as f64, m as f64, 1.0 - alpha)
+        } else {
+            f64::INFINITY
+        };
         Self {
             statistic: 0.0,
-            threshold: f64::INFINITY,
+            threshold,
             p_value: 1.0,
             n,
             m,
             rejected: false,
         }
     }
+}
+
+/// Eq. (3): `D_{n,m} = sqrt(-ln(sig / 2) / 2) * sqrt((n+m)/(n*m))`, with
+/// `sig` the significance level (1 − confidence).
+fn ks_threshold(n: f64, m: f64, sig: f64) -> f64 {
+    (-((sig / 2.0).ln()) / 2.0).sqrt() * ((n + m) / (n * m)).sqrt()
 }
 
 /// Runs the two-sample KS test of the paper's §VII-B.
@@ -77,7 +94,7 @@ pub fn ks_two_sample(x: &WeightedSamples, y: &WeightedSamples, alpha: f64) -> Ks
     );
     let (n, m) = (x.total_weight(), y.total_weight());
     match (x.is_empty(), y.is_empty()) {
-        (true, true) => return KsOutcome::identical(0, 0),
+        (true, true) => return KsOutcome::identical(0, 0, alpha),
         (true, false) | (false, true) => {
             // Present-vs-absent feature: maximal deviation by convention.
             return KsOutcome {
@@ -94,10 +111,8 @@ pub fn ks_two_sample(x: &WeightedSamples, y: &WeightedSamples, alpha: f64) -> Ks
 
     let d = Ecdf::from_samples(x).sup_distance(&Ecdf::from_samples(y));
     let (nf, mf) = (n as f64, m as f64);
-    // Eq. (3): D_{n,m} = sqrt(-ln(alpha_sig / 2) / 2) * sqrt((n+m)/(n*m)),
-    // with alpha_sig the significance level (1 - confidence).
     let sig = 1.0 - alpha;
-    let threshold = (-((sig / 2.0).ln()) / 2.0).sqrt() * ((nf + mf) / (nf * mf)).sqrt();
+    let threshold = ks_threshold(nf, mf, sig);
     // Eq. (4): p = 2 * exp(-2 D^2 * nm / (n+m)).
     let p_value = (2.0 * (-2.0 * d * d * (nf * mf) / (nf + mf)).exp()).min(1.0);
     KsOutcome {
@@ -159,6 +174,22 @@ mod tests {
     fn both_empty_accept() {
         let out = ks_two_sample(&WeightedSamples::new(), &WeightedSamples::new(), ALPHA);
         assert!(!out.rejected);
+        assert_eq!(out.threshold, f64::INFINITY);
+    }
+
+    #[test]
+    fn identical_outcome_threshold_matches_computed_one() {
+        // An `identical(n, m)` shortcut outcome must report the same
+        // eq. (3) threshold as a computed outcome over samples of the same
+        // sizes, so the two stay comparable in reports.
+        let x = WeightedSamples::from_values((0..50).map(f64::from));
+        let computed = ks_two_sample(&x, &x, ALPHA);
+        let shortcut = KsOutcome::identical(50, 50, ALPHA);
+        assert!((shortcut.threshold - computed.threshold).abs() < 1e-12);
+        assert_eq!(shortcut.statistic, 0.0);
+        assert_eq!(shortcut.p_value, 1.0);
+        assert!(!shortcut.rejected);
+        assert!(shortcut.threshold.is_finite());
     }
 
     #[test]
@@ -205,7 +236,10 @@ mod tests {
                 rejections += 1;
             }
         }
-        assert!(rejections < TRIALS / 5, "too many false positives: {rejections}");
+        assert!(
+            rejections < TRIALS / 5,
+            "too many false positives: {rejections}"
+        );
     }
 
     #[test]

@@ -70,13 +70,10 @@ pub fn class_mi_bits(x: &WeightedSamples, y: &WeightedSamples) -> f64 {
     for &(v, w) in y.pairs() {
         *py.entry(v.to_bits()).or_insert(0.0) += w as f64 / ny;
     }
-    let support: std::collections::BTreeSet<u64> =
-        px.keys().chain(py.keys()).copied().collect();
+    let support: std::collections::BTreeSet<u64> = px.keys().chain(py.keys()).copied().collect();
     let mix: Vec<f64> = support
         .iter()
-        .map(|k| {
-            0.5 * px.get(k).copied().unwrap_or(0.0) + 0.5 * py.get(k).copied().unwrap_or(0.0)
-        })
+        .map(|k| 0.5 * px.get(k).copied().unwrap_or(0.0) + 0.5 * py.get(k).copied().unwrap_or(0.0))
         .collect();
     let h_mix = entropy_bits(mix.iter(), mix.iter().sum());
     let h_x = entropy_bits(px.values(), 1.0);
@@ -121,7 +118,10 @@ mod tests {
         let x = WeightedSamples::from_values([4.0]);
         assert_eq!(class_mi_bits(&x, &WeightedSamples::new()), 1.0);
         assert_eq!(class_mi_bits(&WeightedSamples::new(), &x), 1.0);
-        assert_eq!(class_mi_bits(&WeightedSamples::new(), &WeightedSamples::new()), 0.0);
+        assert_eq!(
+            class_mi_bits(&WeightedSamples::new(), &WeightedSamples::new()),
+            0.0
+        );
     }
 
     #[test]

@@ -25,7 +25,13 @@ enum LookupStyle {
     Scan,
 }
 
-fn emit_lookup(b: &KernelBuilder, style: LookupStyle, tables: Val, table_off: u64, idx: Val) -> Val {
+fn emit_lookup(
+    b: &KernelBuilder,
+    style: LookupStyle,
+    tables: Val,
+    table_off: u64,
+    idx: Val,
+) -> Val {
     match style {
         LookupStyle::Indexed => {
             let addr = b.add(b.add(tables, table_off), b.mul(idx, 4u64));
@@ -83,8 +89,7 @@ fn build_kernel(name: &str, style: LookupStyle, rounds: u32) -> KernelProgram {
                 let v1 = emit_lookup(b, style, tables, TE_OFF[1], i1);
                 let v2 = emit_lookup(b, style, tables, TE_OFF[2], i2);
                 let v3 = emit_lookup(b, style, tables, TE_OFF[3], i3);
-                let k =
-                    b.load_global(b.add(rk, (4 * round as u64 + i as u64) * 4), MemWidth::B4);
+                let k = b.load_global(b.add(rk, (4 * round as u64 + i as u64) * 4), MemWidth::B4);
                 t.push(b.xor(b.xor(b.xor(b.xor(v0, v1), v2), v3), k));
             }
             s = t;
@@ -164,10 +169,7 @@ impl AesWorkload {
         let pt_words: Vec<u8> = self
             .plaintext
             .chunks_exact(4)
-            .flat_map(|c| {
-                u32::from_be_bytes([c[0], c[1], c[2], c[3]])
-                    .to_le_bytes()
-            })
+            .flat_map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]).to_le_bytes())
             .collect();
         let pt = dev.malloc(n * 16);
         dev.memcpy_h2d(pt, &pt_words)?;
@@ -190,10 +192,7 @@ impl AesWorkload {
         // Swap state words back to bytes.
         Ok(raw
             .chunks_exact(4)
-            .flat_map(|c| {
-                u32::from_le_bytes([c[0], c[1], c[2], c[3]])
-                    .to_be_bytes()
-            })
+            .flat_map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]).to_be_bytes())
             .collect())
     }
 }
@@ -206,7 +205,12 @@ pub struct AesTTable(AesWorkload);
 impl AesTTable {
     /// AES over `blocks` 16-byte blocks with a fixed public plaintext.
     pub fn new(blocks: u32) -> Self {
-        AesTTable(AesWorkload::new("aes128_ttable", LookupStyle::Indexed, blocks, 10))
+        AesTTable(AesWorkload::new(
+            "aes128_ttable",
+            LookupStyle::Indexed,
+            blocks,
+            10,
+        ))
     }
 
     /// Encrypts on the device and returns the ciphertext (for tests).
@@ -256,7 +260,12 @@ impl AesScan {
     /// Reduced-round variant (1..=10) — same access-pattern property, much
     /// cheaper to execute; useful in tests.
     pub fn with_rounds(blocks: u32, rounds: u32) -> Self {
-        AesScan(AesWorkload::new("aes128_scan", LookupStyle::Scan, blocks, rounds))
+        AesScan(AesWorkload::new(
+            "aes128_scan",
+            LookupStyle::Scan,
+            blocks,
+            rounds,
+        ))
     }
 
     /// Encrypts on the device and returns the ciphertext (for tests).

@@ -99,8 +99,7 @@ pub fn encrypt_block(rk: &[u32; 44], pt: &[u8; 16]) -> [u8; 16] {
     let s = sbox();
     let mut w = [0u32; 4];
     for i in 0..4 {
-        w[i] = u32::from_be_bytes([pt[4 * i], pt[4 * i + 1], pt[4 * i + 2], pt[4 * i + 3]])
-            ^ rk[i];
+        w[i] = u32::from_be_bytes([pt[4 * i], pt[4 * i + 1], pt[4 * i + 2], pt[4 * i + 3]]) ^ rk[i];
     }
     for round in 1..10 {
         let mut t = [0u32; 4];
@@ -197,8 +196,8 @@ mod tests {
         assert_eq!(
             ct,
             [
-                0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca,
-                0x34, 0x2b, 0x2e
+                0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
+                0x2b, 0x2e
             ]
         );
     }

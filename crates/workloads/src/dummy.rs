@@ -17,7 +17,7 @@ use owl_gpu::isa::{CmpOp, MemWidth, SpecialReg};
 use owl_gpu::KernelProgram;
 use owl_host::{Device, HostError};
 use rand::Rng;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Entries in the S-box-like table.
 pub const TABLE_ENTRIES: usize = 256;
@@ -122,7 +122,10 @@ impl TracedProgram for DummySbox {
 #[derive(Debug)]
 pub struct NoiseDummy {
     kernel: KernelProgram,
-    nonce: Cell<u64>,
+    // Atomic (not `Cell`) so the workload is `Sync`: the parallel detector
+    // records runs from several threads, and the nonce must keep advancing
+    // per run regardless of which thread executes it.
+    nonce: AtomicU64,
 }
 
 impl NoiseDummy {
@@ -130,7 +133,7 @@ impl NoiseDummy {
     pub fn new() -> Self {
         NoiseDummy {
             kernel: build_sbox_kernel(),
-            nonce: Cell::new(0x009a_3c01),
+            nonce: AtomicU64::new(0x009a_3c01),
         }
     }
 }
@@ -151,8 +154,7 @@ impl TracedProgram for NoiseDummy {
     fn run(&self, device: &mut Device, _input: &u64) -> Result<(), HostError> {
         // Fresh per-run randomness regardless of the input (e.g. a
         // randomised masking defence).
-        let n = self.nonce.get();
-        self.nonce.set(n.wrapping_add(1));
+        let n = self.nonce.fetch_add(1, Ordering::Relaxed);
         let mut r = rng(n);
         let draw: Vec<u8> = (0..32).map(|_| r.gen()).collect();
 

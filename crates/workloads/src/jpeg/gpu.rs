@@ -165,11 +165,7 @@ fn build_fixed_length_rle() -> KernelProgram {
             let addr = b.add(coeffs, b.mul(b.add(coeff_base, zz), 4u64));
             let c = b.load_global(addr, MemWidth::B4);
             // Fixed slot i: no data-dependent offsets, no branches.
-            b.store_global(
-                b.add(out, b.mul(b.add(out_base, i), 4u64)),
-                c,
-                MemWidth::B4,
-            );
+            b.store_global(b.add(out, b.mul(b.add(out_base, i), 4u64)), c, MemWidth::B4);
         });
         // The "symbol count" is the constant 64.
         b.store_global(b.add(counts, b.mul(tid, 4u64)), 64u64, MemWidth::B4);
@@ -218,12 +214,18 @@ fn build_dequant_idct(w: u64) -> KernelProgram {
             for x in 0..8usize {
                 let mut acc = b.mov(0.0f32);
                 for u in 0..8usize {
-                    acc = b.fadd(acc, b.fmul(tmp[y * 8 + u].expect("filled above"), basis[u][x]));
+                    acc = b.fadd(
+                        acc,
+                        b.fmul(tmp[y * 8 + u].expect("filled above"), basis[u][x]),
+                    );
                 }
                 let shifted = b.fadd(acc, 128.0f32);
                 let clamped = b.fmin(b.fmax(shifted, 0.0f32), 255.0f32);
                 let v = b.f2i(b.fadd(clamped, 0.5f32));
-                let addr = b.add(img, b.add(b.add(top, (y as u64) * w), b.add(left, x as u64)));
+                let addr = b.add(
+                    img,
+                    b.add(b.add(top, (y as u64) * w), b.add(left, x as u64)),
+                );
                 b.store_global(addr, v, MemWidth::B1);
             }
         }
@@ -252,7 +254,10 @@ impl JpegEncode {
     ///
     /// Panics when `h` or `w` is not a positive multiple of 8.
     pub fn new(h: usize, w: usize) -> Self {
-        assert!(h > 0 && w > 0 && h.is_multiple_of(8) && w.is_multiple_of(8), "whole 8×8 blocks required");
+        assert!(
+            h > 0 && w > 0 && h.is_multiple_of(8) && w.is_multiple_of(8),
+            "whole 8×8 blocks required"
+        );
         JpegEncode {
             dct: build_dct_quant(w as u64),
             rle: build_zigzag_rle(),
@@ -276,11 +281,7 @@ impl JpegEncode {
     /// # Panics
     ///
     /// Panics when `image` is not `h·w` bytes.
-    pub fn encode(
-        &self,
-        dev: &mut Device,
-        image: &[u8],
-    ) -> Result<EncodeOutput, HostError> {
+    pub fn encode(&self, dev: &mut Device, image: &[u8]) -> Result<EncodeOutput, HostError> {
         assert_eq!(image.len(), self.h * self.w, "image size mismatch");
         let n = self.blocks();
         dev.memcpy_to_symbol(&zigzag_bytes());
@@ -292,12 +293,7 @@ impl JpegEncode {
         dev.launch(
             &self.dct,
             cfg(n),
-            &[
-                img.addr(),
-                coeffs.addr(),
-                (self.w / 8) as u64,
-                n as u64,
-            ],
+            &[img.addr(), coeffs.addr(), (self.w / 8) as u64, n as u64],
         )?;
         dev.launch(
             &self.rle,
@@ -427,7 +423,10 @@ impl JpegDecode {
     ///
     /// Panics when `h` or `w` is not a positive multiple of 8.
     pub fn new(h: usize, w: usize) -> Self {
-        assert!(h > 0 && w > 0 && h.is_multiple_of(8) && w.is_multiple_of(8), "whole 8×8 blocks required");
+        assert!(
+            h > 0 && w > 0 && h.is_multiple_of(8) && w.is_multiple_of(8),
+            "whole 8×8 blocks required"
+        );
         JpegDecode {
             kernel: build_dequant_idct(w as u64),
             h,

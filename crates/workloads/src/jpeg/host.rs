@@ -24,9 +24,9 @@ pub const QUANT: [f32; 64] = [
 /// Zig-zag scan order: position `i` of the scan reads natural index
 /// `ZIGZAG[i]`.
 pub const ZIGZAG: [u32; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// The 1-D DCT-II basis coefficients `c(u)·cos((2x+1)uπ/16) / 2`,
@@ -225,8 +225,22 @@ mod tests {
         coeffs[16] = 3; // zigzag position 3 (runs past 1 and 8)
         let syms = rle_block(&coeffs);
         assert_eq!(syms.len(), 2);
-        assert_eq!(syms[0], RleSymbol { run: 0, size: 1, value: 1 });
-        assert_eq!(syms[1], RleSymbol { run: 2, size: 2, value: 3 });
+        assert_eq!(
+            syms[0],
+            RleSymbol {
+                run: 0,
+                size: 1,
+                value: 1
+            }
+        );
+        assert_eq!(
+            syms[1],
+            RleSymbol {
+                run: 2,
+                size: 2,
+                value: 3
+            }
+        );
     }
 
     #[test]

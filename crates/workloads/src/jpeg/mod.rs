@@ -5,8 +5,8 @@
 //! depend on the image — the leak surface the paper reports for nvJPEG
 //! encoding. [`JpegDecode`] is the constant-flow dequantise + IDCT path.
 
-pub mod host;
 mod gpu;
+pub mod host;
 
 pub use gpu::{JpegDecode, JpegEncode, JpegEncodeFixedLength};
 pub use host::synthetic_image;

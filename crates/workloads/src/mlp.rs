@@ -97,12 +97,24 @@ impl MlpHiddenWidth {
         dev.launch(
             &self.layer,
             LaunchConfig::new((hidden as u32).div_ceil(32), 32u32),
-            &[x.addr(), w1_buf.addr(), hid.addr(), INPUT_DIM as u64, hidden as u64],
+            &[
+                x.addr(),
+                w1_buf.addr(),
+                hid.addr(),
+                INPUT_DIM as u64,
+                hidden as u64,
+            ],
         )?;
         dev.launch(
             &self.layer,
             LaunchConfig::new((OUTPUT_DIM as u32).div_ceil(32), 32u32),
-            &[hid.addr(), w2_buf.addr(), out.addr(), hidden as u64, OUTPUT_DIM as u64],
+            &[
+                hid.addr(),
+                w2_buf.addr(),
+                out.addr(),
+                hidden as u64,
+                OUTPUT_DIM as u64,
+            ],
         )?;
         let mut bytes = vec![0u8; OUTPUT_DIM * 4];
         dev.memcpy_d2h(out, &mut bytes)?;
@@ -166,7 +178,10 @@ mod tests {
             let got = mlp.infer(&mut Device::new(), w).unwrap();
             let want = mlp.reference(w);
             for (i, (a, b)) in got.iter().zip(&want).enumerate() {
-                assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "width {w} out {i}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                    "width {w} out {i}: {a} vs {b}"
+                );
             }
         }
     }

@@ -141,7 +141,9 @@ impl TracedProgram for GlyphRender {
 
     fn random_input(&self, seed: u64) -> Vec<u8> {
         let mut r = rng(seed ^ 0x417A5);
-        (0..TEXT_LEN).map(|_| r.gen_range(0..GLYPHS as u8)).collect()
+        (0..TEXT_LEN)
+            .map(|_| r.gen_range(0..GLYPHS as u8))
+            .collect()
     }
 }
 

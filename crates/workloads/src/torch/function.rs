@@ -250,7 +250,11 @@ impl TorchFunction {
             (Relu | Sigmoid | Tanh, TorchInput::Tensor(t)) => {
                 let x = t.upload(dev)?;
                 let out = dev.malloc(t.numel() * 4);
-                dev.launch(&self.kernels[0], cfg(t.numel()), &[x.addr(), out.addr(), t.numel() as u64])?;
+                dev.launch(
+                    &self.kernels[0],
+                    cfg(t.numel()),
+                    &[x.addr(), out.addr(), t.numel() as u64],
+                )?;
                 Tensor::download(dev, out, t.numel())
             }
             (Softmax, TorchInput::Tensor(t)) => {
@@ -259,7 +263,11 @@ impl TorchFunction {
                 let tmp = dev.malloc(n * 4);
                 let out = dev.malloc(n * 4);
                 dev.launch(&self.kernels[0], cfg(n), &[x.addr(), tmp.addr(), n as u64])?;
-                dev.launch(&self.kernels[1], cfg(n), &[tmp.addr(), out.addr(), n as u64])?;
+                dev.launch(
+                    &self.kernels[1],
+                    cfg(n),
+                    &[tmp.addr(), out.addr(), n as u64],
+                )?;
                 Tensor::download(dev, out, n)
             }
             (MaxPool2d | AvgPool2d, TorchInput::Tensor(t)) => {
@@ -274,7 +282,11 @@ impl TorchFunction {
                 let w = self.public[0].upload(dev)?;
                 let os = IMG - CONV_K + 1;
                 let out = dev.malloc(os * os * 4);
-                dev.launch(&self.kernels[0], cfg(os * os), &[x.addr(), w.addr(), out.addr()])?;
+                dev.launch(
+                    &self.kernels[0],
+                    cfg(os * os),
+                    &[x.addr(), w.addr(), out.addr()],
+                )?;
                 Tensor::download(dev, out, os * os)
             }
             (Linear, TorchInput::Tensor(t)) => {
@@ -300,7 +312,11 @@ impl TorchFunction {
                     cfg(n),
                     &[x.addr(), y.addr(), tmp.addr(), n as u64],
                 )?;
-                dev.launch(&self.kernels[1], cfg(32), &[tmp.addr(), out.addr(), n as u64])?;
+                dev.launch(
+                    &self.kernels[1],
+                    cfg(32),
+                    &[tmp.addr(), out.addr(), n as u64],
+                )?;
                 Tensor::download(dev, out, 1)
             }
             (NllLoss, TorchInput::Labels(labels)) => {
@@ -349,7 +365,11 @@ impl TorchFunction {
                 let x = t.upload(dev)?;
                 let flag = dev.malloc(4);
                 let out = dev.malloc(n * 4);
-                dev.launch(&self.kernels[0], cfg(32), &[x.addr(), flag.addr(), n as u64])?;
+                dev.launch(
+                    &self.kernels[0],
+                    cfg(32),
+                    &[x.addr(), flag.addr(), n as u64],
+                )?;
                 let mut fb = [0u8; 4];
                 dev.memcpy_d2h(flag, &mut fb)?;
                 // Host-side decision on device data: the kernel leak.
@@ -464,7 +484,10 @@ mod tests {
 
     #[test]
     fn pools_match_reference() {
-        for (kind, is_max) in [(TorchOpKind::MaxPool2d, true), (TorchOpKind::AvgPool2d, false)] {
+        for (kind, is_max) in [
+            (TorchOpKind::MaxPool2d, true),
+            (TorchOpKind::AvgPool2d, false),
+        ] {
             let f = TorchFunction::new(kind);
             let (input, x) = tensor_input(&f, 5);
             let got = f.eval(&mut Device::new(), &input).unwrap();
@@ -519,9 +542,7 @@ mod tests {
         let w = f.public[0].data();
         let bias = f.public[1].data();
         let want: Vec<f32> = (0..LIN)
-            .map(|r| {
-                (0..LIN).map(|j| w[r * LIN + j] * x[j]).sum::<f32>() + bias[r]
-            })
+            .map(|r| (0..LIN).map(|j| w[r * LIN + j] * x[j]).sum::<f32>() + bias[r])
             .collect();
         close(&got, &want, 1e-4);
     }
@@ -532,8 +553,7 @@ mod tests {
         let (input, x) = tensor_input(&f, 8);
         let got = f.eval(&mut Device::new(), &input).unwrap();
         let y = f.public[0].data();
-        let want: f32 =
-            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / VEC_N as f32;
+        let want: f32 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / VEC_N as f32;
         close(&got, &[want], 1e-4);
     }
 
@@ -589,7 +609,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(zero_launches, vec!["any_nonzero_kernel", "format_zero_kernel"]);
+        assert_eq!(
+            zero_launches,
+            vec!["any_nonzero_kernel", "format_zero_kernel"]
+        );
 
         let mut dev = Device::new();
         f.eval(&mut dev, &f.random_input(11)).unwrap();

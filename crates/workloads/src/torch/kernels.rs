@@ -99,7 +99,11 @@ pub fn softmax_norm() -> KernelProgram {
 /// 2×2/stride-2 pooling over an `h×w` image; one thread per output pixel.
 /// `max` selects max-pooling (via branch-free `FMax`), otherwise average.
 pub fn pool2d(h: u64, w: u64, max: bool) -> KernelProgram {
-    let name = if max { "max_pool2d_kernel" } else { "avg_pool2d_kernel" };
+    let name = if max {
+        "max_pool2d_kernel"
+    } else {
+        "avg_pool2d_kernel"
+    };
     let b = KernelBuilder::new(name);
     let x = b.param(0);
     let out = b.param(1);

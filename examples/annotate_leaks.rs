@@ -73,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== annotated report ===");
     let kernels: BTreeMap<String, &owl::gpu::KernelProgram> =
-        [("secret_lookup".to_string(), &program.0)].into_iter().collect();
+        [("secret_lookup".to_string(), &program.0)]
+            .into_iter()
+            .collect();
     print!("{}", detection.report.annotate(&kernels));
     Ok(())
 }

@@ -13,7 +13,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== AES-128, T-table implementation (Libgpucrypto style) ==");
     let ttable = AesTTable::new(32);
-    let detection = detect(&ttable, &keys, &OwlConfig { runs: 60, ..OwlConfig::default() })?;
+    let detection = detect(
+        &ttable,
+        &keys,
+        &OwlConfig {
+            runs: 60,
+            ..OwlConfig::default()
+        },
+    )?;
     println!("verdict: {:?}", detection.verdict);
     println!(
         "  {} data-flow leaks, {} control-flow leaks, {} kernel leaks",
@@ -30,7 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two rounds: the access-pattern property does not depend on rounds and
     // the scan variant is ~256x more expensive per lookup.
     let scan = AesScan::with_rounds(32, 2);
-    let detection = detect(&scan, &keys, &OwlConfig { runs: 15, ..OwlConfig::default() })?;
+    let detection = detect(
+        &scan,
+        &keys,
+        &OwlConfig {
+            runs: 15,
+            ..OwlConfig::default()
+        },
+    )?;
     println!("verdict: {:?}", detection.verdict);
     println!(
         "  all {} user keys fell into {} trace class(es)",

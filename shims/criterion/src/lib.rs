@@ -1,0 +1,283 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the API this workspace's benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! warm_up_time, measurement_time, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId::new`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! collects `sample_size` samples inside `measurement_time`, each sample
+//! timing a batch of iterations sized so one batch takes roughly
+//! `measurement_time / sample_size`. Reports mean and min/max per-iteration
+//! wall time to stdout. No plotting, no statistics beyond that, no saved
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement marker types (only wall time is supported).
+
+    /// Wall-clock measurement (the default and only measurement).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Opaque identity function that defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark name plus a parameter, e.g. `ks/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A bare parameter id (no function name).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Times closures handed to `bench_function` / `bench_with_input`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the requested number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Throughput is accepted and ignored (report is time-only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: run single iterations until warm_up_time has passed,
+        // and use the observed speed to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            warm_iters += 1;
+            warm_elapsed += b.elapsed;
+        }
+        let per_iter = warm_elapsed
+            .checked_div(warm_iters as u32)
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{}/{:<40} mean {:>12}  [{} .. {}]  ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+            self.sample_size,
+            iters_per_sample,
+        );
+    }
+}
+
+/// Accepted by [`BenchmarkGroup::throughput`]; ignored in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Groups benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` calling each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-test");
+        g.sample_size(2);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(4));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with-input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("ks", 1024).to_string(), "ks/1024");
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+    }
+}

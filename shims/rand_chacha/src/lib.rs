@@ -1,0 +1,157 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate: [`ChaCha8Rng`], a genuine 8-round ChaCha keystream generator
+//! implementing the `rand` shim's `RngCore`/`SeedableRng`.
+//!
+//! The keystream is a faithful ChaCha8 (RFC 7539 block function with 8
+//! rounds), but the *word-extraction order* is not guaranteed to match the
+//! real `rand_chacha` crate; this repository only relies on seeded
+//! determinism, never on specific stream values.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// A deterministic, seedable ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words 4..12 and constants/counter/nonce around them.
+    state: [u32; BLOCK_WORDS],
+    /// Current output block.
+    block: [u32; BLOCK_WORDS],
+    /// Next word to hand out from `block`; `BLOCK_WORDS` forces a refill.
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12-13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    /// The word stream position, exposed for tests.
+    pub fn word_pos(&self) -> u128 {
+        let counter = u128::from(self.state[13]) << 32 | u128::from(self.state[12]);
+        counter * BLOCK_WORDS as u128 + self.cursor as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // counter = 0 (words 12-13), nonce = 0 (words 14-15).
+        let mut rng = ChaCha8Rng {
+            state,
+            block: [0; BLOCK_WORDS],
+            cursor: BLOCK_WORDS,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stream_is_reasonably_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += r.next_u64().count_ones();
+        }
+        // 64k bits, expect ~32k ones.
+        assert!((30_000..34_000).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn clone_continues_the_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let _: u64 = a.gen();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,354 @@
+//! `Serialize`/`Deserialize` implementations for primitives and the
+//! standard containers this workspace serialises.
+
+use crate::de::{DeError, Deserialize, Error};
+use crate::ser::Serialize;
+use crate::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::Hash;
+
+// ---------------------------------------------------------------- integers
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = match value {
+                    Value::Int(i) => *i,
+                    // Integer map keys arrive as strings after a JSON
+                    // round-trip ({"7": ...}); accept them.
+                    Value::Str(s) => s.parse::<i128>().map_err(|_| {
+                        DeError::custom(format_args!(
+                            "invalid integer string {s:?} for {}",
+                            stringify!($t)
+                        ))
+                    })?,
+                    other => {
+                        return Err(DeError::custom(format_args!(
+                            "expected an integer for {}, got {other:?}",
+                            stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::custom(format_args!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------ floats
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(DeError::custom(format_args!(
+                        "expected a number for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ---------------------------------------------------------------- scalars
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format_args!(
+                "expected a bool, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected a one-character string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected exactly one character")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- strings
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom("expected a string"))
+    }
+}
+
+// -------------------------------------------------------------- references
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+// -------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom("expected a sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_value(value)?;
+        let got = vec.len();
+        vec.try_into()
+            .map_err(|_| DeError::custom(format_args!("expected {N} elements, got {got}")))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected a map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected a map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom("expected a sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+// ------------------------------------------------------------------ tuples
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom("expected a tuple sequence"))?;
+                if seq.len() != $len {
+                    return Err(DeError::custom(format_args!(
+                        "expected a tuple of {}, got {} elements",
+                        $len,
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+    (A.0, B.1, C.2, D.3, E.4) with 5;
+    (A.0, B.1, C.2, D.3, E.4, F.5) with 6;
+}
+
+// ------------------------------------------------------------------- Value
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrip_and_string_keys() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(u32::from_value(&Value::Str("7".into())).unwrap(), 7);
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let m: BTreeMap<u32, Vec<(u32, u32)>> = [(1, vec![(2, 3)])].into_iter().collect();
+        let v = m.to_value();
+        assert_eq!(BTreeMap::<u32, Vec<(u32, u32)>>::from_value(&v).unwrap(), m);
+
+        let o: Option<u64> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the serde API subset it actually uses. The design is deliberately
+//! simpler than real serde: instead of a streaming data model, every
+//! serializable type lowers to a JSON-shaped [`Value`] tree
+//! ([`ser::Serialize::to_value`]) and is rebuilt from one
+//! ([`de::Deserialize::from_value`]). The familiar
+//! `Serialize`/`Serializer`/`Deserialize`/`Deserializer` trait names keep
+//! source compatibility — including hand-written `#[serde(with = "...")]`
+//! modules that call `value.serialize(serializer)` and
+//! `T::deserialize(deserializer)` generically.
+//!
+//! With the `derive` feature, `#[derive(Serialize, Deserialize)]` is
+//! provided by the sibling `serde_derive` shim and follows serde's
+//! externally-tagged conventions (structs as maps, newtype structs as their
+//! inner value, unit enum variants as strings, data variants as
+//! single-entry maps).
+
+#![forbid(unsafe_code)]
+
+/// A JSON-shaped tree: the data model every type serialises into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (wide enough for `u64` and `i64`).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered list of key/value entries (JSON object once keys are
+    /// strings or integers).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// The entries when this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(elems) => Some(elems),
+            _ => None,
+        }
+    }
+
+    /// The string when this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the data model.
+
+    use super::Value;
+
+    /// A type that can lower itself to a [`Value`].
+    pub trait Serialize {
+        /// Lowers `self` into the data model.
+        fn to_value(&self) -> Value;
+
+        /// Serde-compatible entry point: hands the lowered value to the
+        /// serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.collect_value(self.to_value())
+        }
+    }
+
+    /// A sink consuming one lowered [`Value`].
+    pub trait Serializer: Sized {
+        /// What a successful serialization yields.
+        type Ok;
+        /// The failure type.
+        type Error;
+
+        /// Consumes the value.
+        fn collect_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+
+    use super::Value;
+    use std::fmt;
+
+    /// Deserialization failure: a message, as in `serde::de::Error::custom`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError {
+        msg: String,
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Mirror of `serde::de::Error`: constructible from a message.
+    pub trait Error: Sized {
+        /// Builds the error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            DeError {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    /// A source producing one [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// The failure type.
+        type Error: Error;
+
+        /// Produces the value to deserialize from.
+        fn extract_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A type re-buildable from a [`Value`].
+    pub trait Deserialize<'de>: Sized {
+        /// Rebuilds `Self` from the data model.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`DeError`] when the value has the wrong shape.
+        fn from_value(value: &Value) -> Result<Self, DeError>;
+
+        /// Serde-compatible entry point.
+        ///
+        /// # Errors
+        ///
+        /// Forwards shape mismatches as the deserializer's error type.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let value = deserializer.extract_value()?;
+            Self::from_value(&value).map_err(D::Error::custom)
+        }
+    }
+
+    /// Owned deserialization (no borrows from the input).
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Support machinery for the derive macros and `with`-style modules.
+    //! Not a public API.
+
+    use super::de::{DeError, Deserializer, Error};
+    use super::ser::Serializer;
+    use super::Value;
+
+    /// An error that cannot occur.
+    pub enum Impossible {}
+
+    /// A serializer that just returns the lowered value.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Impossible;
+
+        fn collect_value(self, value: Value) -> Result<Value, Impossible> {
+            Ok(value)
+        }
+    }
+
+    /// A deserializer that hands out a pre-built value.
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps a value.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+
+        fn extract_value(self) -> Result<Value, DeError> {
+            Ok(self.value)
+        }
+    }
+
+    /// Runs a `with`-module serialize function and returns the lowered
+    /// value (`#[serde(with = "...")]` support).
+    pub fn with_to_value<F>(f: F) -> Value
+    where
+        F: FnOnce(ValueSerializer) -> Result<Value, Impossible>,
+    {
+        match f(ValueSerializer) {
+            Ok(v) => v,
+            Err(impossible) => match impossible {},
+        }
+    }
+
+    /// Runs a `with`-module deserialize function over a value.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the module's deserialize reports.
+    pub fn with_from_value<T, F>(value: &Value, f: F) -> Result<T, DeError>
+    where
+        F: FnOnce(ValueDeserializer) -> Result<T, DeError>,
+    {
+        f(ValueDeserializer::new(value.clone()))
+    }
+
+    /// The map entries of `value`, or a shape error naming `what`.
+    ///
+    /// # Errors
+    ///
+    /// When `value` is not a map.
+    pub fn expect_map<'a>(value: &'a Value, what: &str) -> Result<&'a [(Value, Value)], DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::custom(format_args!("expected a map for {what}")))
+    }
+
+    /// The sequence elements of `value`, or a shape error naming `what`.
+    ///
+    /// # Errors
+    ///
+    /// When `value` is not a sequence.
+    pub fn expect_seq<'a>(value: &'a Value, what: &str) -> Result<&'a [Value], DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format_args!("expected a sequence for {what}")))
+    }
+
+    /// The string content of `value`, or a shape error naming `what`.
+    ///
+    /// # Errors
+    ///
+    /// When `value` is not a string.
+    pub fn expect_str<'a>(value: &'a Value, what: &str) -> Result<&'a str, DeError> {
+        value
+            .as_str()
+            .ok_or_else(|| DeError::custom(format_args!("expected a string for {what}")))
+    }
+
+    /// Looks up a struct field by name in map entries.
+    ///
+    /// # Errors
+    ///
+    /// When the field is absent.
+    pub fn map_field<'a>(entries: &'a [(Value, Value)], name: &str) -> Result<&'a Value, DeError> {
+        entries
+            .iter()
+            .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format_args!("missing field `{name}`")))
+    }
+}
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,512 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented with hand-rolled `proc_macro`
+//! token parsing (the build environment has neither `syn` nor `quote`).
+//!
+//! Supported shapes — exactly what this workspace declares:
+//!
+//! * structs with named fields (plus `#[serde(with = "module")]` fields),
+//! * tuple structs (newtype structs serialise transparently),
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics, lifetimes on the deriving type, and other `#[serde(...)]`
+//! attributes are rejected with a compile error rather than silently
+//! mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A field of a named struct or struct variant.
+struct NamedField {
+    name: String,
+    /// `#[serde(with = "path")]`, when present.
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<NamedField>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    type_name: String,
+    shape: Shape,
+}
+
+// ------------------------------------------------------------------ parsing
+
+/// Extracts `with = "path"` from the tokens inside `#[serde(...)]`.
+fn parse_serde_attr(group: TokenStream) -> Result<Option<String>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    // Expect: serde ( with = "path" )
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(kw), TokenTree::Punct(eq), TokenTree::Literal(path)]
+                    if kw.to_string() == "with" && eq.as_char() == '=' =>
+                {
+                    let raw = path.to_string();
+                    let stripped = raw.trim_matches('"').to_string();
+                    if stripped.is_empty() || stripped == raw {
+                        return Err(format!("malformed #[serde(with = ...)] path: {raw}"));
+                    }
+                    Ok(Some(stripped))
+                }
+                _ => Err(
+                    "this serde_derive shim only supports #[serde(with = \"module\")]".to_string(),
+                ),
+            }
+        }
+        _ => Ok(None), // other attributes (doc comments etc.): ignore
+    }
+}
+
+/// Consumes leading attributes from `tokens[*pos..]`, returning the `with`
+/// path if a `#[serde(with = ...)]` was among them.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<Option<String>, String> {
+    let mut with = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        match tokens.get(*pos + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(path) = parse_serde_attr(g.stream())? {
+                    with = Some(path);
+                }
+                *pos += 2;
+            }
+            _ => return Err("malformed attribute".to_string()),
+        }
+    }
+    Ok(with)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past one type, stopping at a comma outside angle brackets.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses the fields of a named struct or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let with = skip_attrs(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        // Skip the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(NamedField { name, with });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct or tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return Ok(0);
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        let with = skip_attrs(&tokens, &mut pos)?;
+        if with.is_some() {
+            return Err("#[serde(with)] on tuple fields is not supported by this shim".into());
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let with = skip_attrs(&tokens, &mut pos)?;
+        if with.is_some() {
+            return Err("#[serde(with)] on variants is not supported by this shim".into());
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "explicit discriminant on variant `{name}` is not supported by this shim"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Parses the whole deriving item down to the shape we generate for.
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            pos += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let type_name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => {
+            let n = id.to_string();
+            pos += 1;
+            n
+        }
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{type_name}` is not supported by this serde_derive shim"
+            ));
+        }
+    }
+    let shape = if kind == "enum" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("expected struct body, got {other:?}")),
+        }
+    };
+    Ok(Parsed { type_name, shape })
+}
+
+// --------------------------------------------------------------- generation
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// `(a, b, c)` → the `to_value` expression for one named-field list, taking
+/// field values from expressions produced by `access`.
+fn named_fields_to_value(fields: &[NamedField], access: impl Fn(&str) -> String) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        let lowered = match &f.with {
+            None => format!("serde::ser::Serialize::to_value({expr})"),
+            Some(path) => {
+                format!("serde::__private::with_to_value(|__ser| {path}::serialize({expr}, __ser))")
+            }
+        };
+        entries.push_str(&format!(
+            "(serde::Value::Str(::std::string::String::from({:?})), {lowered}),",
+            f.name
+        ));
+    }
+    format!("serde::Value::Map(::std::vec![{entries}])")
+}
+
+/// The struct-literal expression rebuilding named fields from map entries
+/// bound to `__entries`.
+fn named_fields_from_value(type_path: &str, fields: &[NamedField]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fetch = format!("serde::__private::map_field(__entries, {:?})?", f.name);
+        let built = match &f.with {
+            None => format!("serde::de::Deserialize::from_value({fetch})?"),
+            Some(path) => {
+                format!("serde::__private::with_from_value({fetch}, {path}::deserialize)?")
+            }
+        };
+        inits.push_str(&format!("{}: {built},", f.name));
+    }
+    format!("{type_path} {{ {inits} }}")
+}
+
+fn generate_serialize(p: &Parsed) -> String {
+    let name = &p.type_name;
+    let body = match &p.shape {
+        Shape::Named(fields) => named_fields_to_value(fields, |f| format!("&self.{f}")),
+        Shape::Tuple(1) => "serde::ser::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::ser::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", elems.join(","))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(::std::string::String::from({vname:?})),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::ser::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::ser::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(::std::vec![{}])", elems.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Map(::std::vec![(serde::Value::Str(::std::string::String::from({vname:?})), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = named_fields_to_value(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Map(::std::vec![(serde::Value::Str(::std::string::String::from({vname:?})), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(p: &Parsed) -> String {
+    let name = &p.type_name;
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let build = named_fields_from_value(name, fields);
+            format!(
+                "let __entries = serde::__private::expect_map(__value, {name:?})?;\n\
+                 ::std::result::Result::Ok({build})"
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(serde::de::Deserialize::from_value(__value)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::de::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = serde::__private::expect_seq(__value, {name:?})?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(serde::de::Error::custom(\
+                         ::std::format_args!(\"expected {n} elements for {name}\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(",")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             serde::de::Deserialize::from_value(__payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => data_arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                             let __seq = serde::__private::expect_seq(__payload, {vname:?})?;\n\
+                             if __seq.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(serde::de::Error::custom(\
+                                     ::std::format_args!(\"expected {n} elements for {name}::{vname}\")));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        (0..*n)
+                            .map(|i| format!("serde::de::Deserialize::from_value(&__seq[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let build =
+                            named_fields_from_value(&format!("{name}::{vname}"), fields);
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __entries = serde::__private::expect_map(__payload, {vname:?})?;\n\
+                                 ::std::result::Result::Ok({build})\n\
+                             }}"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(serde::de::Error::custom(\
+                             ::std::format_args!(\"unknown unit variant {{__other}} for {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__m[0];\n\
+                         let __tag = serde::__private::expect_str(__tag, \"variant tag\")?;\n\
+                         match __tag {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(serde::de::Error::custom(\
+                                 ::std::format_args!(\"unknown variant {{__other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(serde::de::Error::custom(\
+                         ::std::format_args!(\"expected a variant of {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &serde::Value)\n\
+                 -> ::std::result::Result<Self, serde::de::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ------------------------------------------------------------- entry points
+
+/// Derives the shim `serde::ser::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => generate_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim `serde::de::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => generate_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}

@@ -1,7 +1,8 @@
 //! `owl-detect` — run the Owl detector against any bundled workload.
 //!
 //! ```text
-//! owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] [--json]
+//! owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED]
+//!            [--parallelism N] [--json]
 //!
 //! workloads:
 //!   aes-ttable | aes-scan | rsa-sqm | rsa-ladder
@@ -34,6 +35,7 @@ struct Options {
     alpha: f64,
     method: TestMethod,
     aslr_seed: Option<u64>,
+    parallelism: Option<usize>,
     json: bool,
 }
 
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         alpha: 0.95,
         method: TestMethod::Ks,
         aslr_seed: None,
+        parallelism: None,
         json: false,
     };
     while let Some(a) = args.next() {
@@ -70,6 +73,14 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--aslr needs a seed")?,
                 );
             }
+            "--parallelism" => {
+                opts.parallelism = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--parallelism needs a worker count >= 1")?,
+                );
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -77,11 +88,16 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run_detection<P: TracedProgram>(
+fn run_detection<P>(
     program: &P,
     inputs: &[P::Input],
     opts: &Options,
-) -> Result<Detection<P::Input>, String> {
+) -> Result<Detection<P::Input>, String>
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
+    let defaults = OwlConfig::default();
     detect(
         program,
         inputs,
@@ -90,7 +106,8 @@ fn run_detection<P: TracedProgram>(
             alpha: opts.alpha,
             method: opts.method,
             aslr_seed: opts.aslr_seed,
-            ..OwlConfig::default()
+            parallelism: opts.parallelism.unwrap_or(defaults.parallelism),
+            ..defaults
         },
     )
     .map_err(|e| e.to_string())
@@ -206,7 +223,11 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
         }
         "mlp" => {
             let w = MlpHiddenWidth::new();
-            Ok(report(&name, &run_detection(&w, &WIDTHS.map(|x| x), opts)?, opts))
+            Ok(report(
+                &name,
+                &run_detection(&w, &WIDTHS.map(|x| x), opts)?,
+                opts,
+            ))
         }
         "render" => {
             let w = GlyphRender::new();
@@ -215,7 +236,11 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
         }
         "coalescing" => {
             let w = CoalescingStride::new();
-            Ok(report(&name, &run_detection(&w, &[1, 33, 65, 97], opts)?, opts))
+            Ok(report(
+                &name,
+                &run_detection(&w, &[1, 33, 65, 97], opts)?,
+                opts,
+            ))
         }
         other => {
             if let Some(rest) = other.strip_prefix("dummy") {
@@ -225,7 +250,11 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
                     .transpose()?
                     .unwrap_or(64);
                 let w = DummySbox::new(elems);
-                return Ok(report(other, &run_detection(&w, &[1, 2, 3, 4], opts)?, opts));
+                return Ok(report(
+                    other,
+                    &run_detection(&w, &[1, 2, 3, 4], opts)?,
+                    opts,
+                ));
             }
             if let Some(op) = other.strip_prefix("torch:").and_then(torch_kind) {
                 let w = TorchFunction::new(op);
@@ -248,7 +277,9 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] [--json]");
+            eprintln!(
+                "usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] [--parallelism N] [--json]"
+            );
             return ExitCode::from(2);
         }
     };

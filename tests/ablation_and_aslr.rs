@@ -39,7 +39,8 @@ fn ks_catches_equal_mean_distribution_change_welch_misses() {
     // Fixed inputs: the access alternates between offsets 0 and 128
     // (mean 64). Random inputs: always offset 64 (same mean). This is the
     // motivating case for the paper's KS choice over prior work's t-test.
-    let fix = Evidence::from_traces((0..60).map(|i| trace_with_addr(if i % 2 == 0 { 0 } else { 128 })));
+    let fix =
+        Evidence::from_traces((0..60).map(|i| trace_with_addr(if i % 2 == 0 { 0 } else { 128 })));
     let rnd = Evidence::from_traces((0..60).map(|_| trace_with_addr(64)));
 
     let ks = leakage_test(
@@ -109,8 +110,15 @@ fn detection_under_aslr_matches_plain_detection() {
     // must keep verdicts and leak locations identical to the plain run.
     let d = DummySbox::new(64);
     let inputs = [1u64, 2, 3, 4];
-    let plain = detect(&d, &inputs, &OwlConfig { runs: 40, ..OwlConfig::default() })
-        .expect("plain detection");
+    let plain = detect(
+        &d,
+        &inputs,
+        &OwlConfig {
+            runs: 40,
+            ..OwlConfig::default()
+        },
+    )
+    .expect("plain detection");
     let aslr = detect(
         &d,
         &inputs,
@@ -122,7 +130,10 @@ fn detection_under_aslr_matches_plain_detection() {
     )
     .expect("aslr detection");
     assert_eq!(plain.verdict, aslr.verdict);
-    assert_eq!(plain.report, aslr.report, "normalisation removes layout noise");
+    assert_eq!(
+        plain.report, aslr.report,
+        "normalisation removes layout noise"
+    );
 }
 
 #[test]
@@ -146,8 +157,15 @@ fn aslr_clean_program_stays_clean() {
 fn reports_serialize_to_json() {
     let aes = AesTTable::new(32);
     let keys = [[0u8; 16], [0xff; 16]];
-    let detection = detect(&aes, &keys, &OwlConfig { runs: 30, ..OwlConfig::default() })
-        .expect("detection");
+    let detection = detect(
+        &aes,
+        &keys,
+        &OwlConfig {
+            runs: 30,
+            ..OwlConfig::default()
+        },
+    )
+    .expect("detection");
     let json = serde_json::to_string(&detection.report).expect("serialize");
     assert!(json.contains("DataFlow"), "{json}");
     assert!(json.contains("aes128_ttable"), "{json}");

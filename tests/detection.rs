@@ -31,7 +31,12 @@ fn aes_ttable_leaks_data_flow() {
         "{}",
         detection.report
     );
-    assert_eq!(detection.report.count(LeakKind::Kernel), 0, "{}", detection.report);
+    assert_eq!(
+        detection.report.count(LeakKind::Kernel),
+        0,
+        "{}",
+        detection.report
+    );
 }
 
 #[test]
@@ -56,7 +61,12 @@ fn rsa_square_multiply_leaks_control_flow() {
         "{}",
         detection.report
     );
-    assert_eq!(detection.report.count(LeakKind::DataFlow), 0, "{}", detection.report);
+    assert_eq!(
+        detection.report.count(LeakKind::DataFlow),
+        0,
+        "{}",
+        detection.report
+    );
 }
 
 #[test]
@@ -192,7 +202,11 @@ fn nondeterministic_program_is_not_flagged() {
     // under fixed and random inputs are attributed to noise.
     let noise = NoiseDummy::new();
     let detection = detect(&noise, &[1, 2, 3], &config(40)).expect("detection");
-    assert_ne!(detection.verdict, Verdict::LeakFree, "noise must differ across runs");
+    assert_ne!(
+        detection.verdict,
+        Verdict::LeakFree,
+        "noise must differ across runs"
+    );
     assert_eq!(
         detection.verdict,
         Verdict::NoInputDependence,

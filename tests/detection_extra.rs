@@ -87,13 +87,10 @@ fn mlp_hidden_width_leaks_as_kernel_leak() {
     );
     // The leak is host-side: launch geometry / allocation sizing.
     assert!(
-        detection
-            .report
-            .of_kind(LeakKind::Kernel)
-            .any(|l| matches!(
-                l.location,
-                LeakLocation::Invocation(_) | LeakLocation::Alloc(_)
-            )),
+        detection.report.of_kind(LeakKind::Kernel).any(|l| matches!(
+            l.location,
+            LeakLocation::Invocation(_) | LeakLocation::Alloc(_)
+        )),
         "{}",
         detection.report
     );
@@ -159,7 +156,11 @@ fn stress_131k_threads_traces_within_plateau() {
     let d = DummySbox::new(131_072);
     let trace = owl::core::record_trace(&d, &0x5eed).expect("trace");
     // The plateau: every table line already touched, constant structure.
-    assert!(trace.size_bytes() < 64 * 1024, "{} bytes", trace.size_bytes());
+    assert!(
+        trace.size_bytes() < 64 * 1024,
+        "{} bytes",
+        trace.size_bytes()
+    );
 }
 
 #[test]

@@ -1,0 +1,92 @@
+//! The parallel evidence pipeline's determinism contract: `detect()` must
+//! produce bit-identical results for every `parallelism` setting, with and
+//! without simulated ASLR, on leaky and clean workloads alike.
+
+use owl::core::{detect, Detection, OwlConfig, TracedProgram, Verdict};
+use owl::workloads::aes::AesTTable;
+use owl::workloads::rsa::RsaLadder;
+
+fn run<P>(
+    program: &P,
+    inputs: &[P::Input],
+    parallelism: usize,
+    aslr_seed: Option<u64>,
+) -> Detection<P::Input>
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
+    detect(
+        program,
+        inputs,
+        &OwlConfig {
+            runs: 20,
+            parallelism,
+            aslr_seed,
+            // Exercise phase 3 even when filtering finds one class (the
+            // clean workload would otherwise return before the fan-out).
+            force_analysis: true,
+            ..OwlConfig::default()
+        },
+    )
+    .expect("detection")
+}
+
+fn assert_bit_identical<P>(program: &P, inputs: &[P::Input], aslr_seed: Option<u64>)
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
+    let serial = run(program, inputs, 1, aslr_seed);
+    for parallelism in [2, 4] {
+        let parallel = run(program, inputs, parallelism, aslr_seed);
+        assert_eq!(
+            serial.verdict, parallel.verdict,
+            "verdict changed at parallelism {parallelism} (aslr {aslr_seed:?})"
+        );
+        assert_eq!(
+            serial.report, parallel.report,
+            "report changed at parallelism {parallelism} (aslr {aslr_seed:?})"
+        );
+        // Byte-identical, not just structurally equal: the serialized
+        // reports (floats and all) must match exactly.
+        assert_eq!(
+            serde_json::to_string(&serial.report).expect("json"),
+            serde_json::to_string(&parallel.report).expect("json"),
+            "serialized report changed at parallelism {parallelism} (aslr {aslr_seed:?})"
+        );
+        assert_eq!(
+            serial.filter.classes.len(),
+            parallel.filter.classes.len(),
+            "input classes changed at parallelism {parallelism} (aslr {aslr_seed:?})"
+        );
+    }
+}
+
+#[test]
+fn leaky_workload_is_parallelism_invariant() {
+    let aes = AesTTable::new(32);
+    let keys = [[0u8; 16], [0xffu8; 16], *b"owl-sca-detector"];
+    for aslr_seed in [None, Some(0xA51A)] {
+        assert_bit_identical(&aes, &keys, aslr_seed);
+    }
+}
+
+#[test]
+fn clean_workload_is_parallelism_invariant() {
+    let rsa = RsaLadder::new(32);
+    let exponents = [0x8000_0001u64, 0xffff_ffff, 3];
+    for aslr_seed in [None, Some(0xA51A)] {
+        assert_bit_identical(&rsa, &exponents, aslr_seed);
+    }
+}
+
+#[test]
+fn leaky_workload_verdict_survives_parallelism() {
+    let aes = AesTTable::new(32);
+    let keys = [[0u8; 16], [0xffu8; 16], *b"owl-sca-detector"];
+    let detection = run(&aes, &keys, 4, None);
+    assert_eq!(detection.verdict, Verdict::Leaky);
+    assert!(detection.stats.evidence_workers >= 1);
+    assert!(detection.stats.evidence_cpu_time >= detection.stats.evidence_time / 2);
+}
