@@ -17,14 +17,25 @@
 //!
 //! `--large` extends the sweep to the paper's 128,000-thread scale.
 
-use owl_bench::fmt_bytes;
+use owl_bench::{fmt_bytes, write_bench_json};
 use owl_core::{record_trace, TracedProgram};
 use owl_workloads::dummy::DummySbox;
 use owl_workloads::jpeg::JpegEncode;
 use owl_workloads::torch::{TorchFunction, TorchOpKind};
 
+/// One point of the trace-size growth sweep, tagged with its series.
+#[derive(serde::Serialize)]
+struct GrowthPoint {
+    series: String,
+    input: String,
+    total_bytes: usize,
+    kernel_bytes: usize,
+    malloc_bytes: usize,
+}
+
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
+    let mut points = Vec::new();
 
     println!("Fig. 5 — trace size growth by input size");
     println!();
@@ -49,6 +60,13 @@ fn main() {
             fmt_bytes(k),
             fmt_bytes(m)
         );
+        points.push(GrowthPoint {
+            series: "dummy-sbox".into(),
+            input: format!("{elems} threads"),
+            total_bytes: trace.size_bytes(),
+            kernel_bytes: k,
+            malloc_bytes: m,
+        });
     }
 
     println!();
@@ -75,6 +93,13 @@ fn main() {
             fmt_bytes(k),
             fmt_bytes(m)
         );
+        points.push(GrowthPoint {
+            series: "jpeg-encode".into(),
+            input: format!("{} pixels", side * side),
+            total_bytes: trace.size_bytes(),
+            kernel_bytes: k,
+            malloc_bytes: m,
+        });
     }
 
     println!();
@@ -91,5 +116,17 @@ fn main() {
             format!("seed {seed}"),
             fmt_bytes(trace.size_bytes())
         );
+        let (k, m) = trace.size_breakdown();
+        points.push(GrowthPoint {
+            series: "tensor-repr".into(),
+            input: format!("seed {seed}"),
+            total_bytes: trace.size_bytes(),
+            kernel_bytes: k,
+            malloc_bytes: m,
+        });
     }
+
+    let path = write_bench_json("fig5", &points).expect("write BENCH_fig5.json");
+    println!();
+    println!("machine-readable points: {}", path.display());
 }

@@ -15,14 +15,52 @@
 
 use owl_baselines::static_ir::{analyze_kernel, FindingKind};
 use owl_baselines::{host_only_detect, record_per_thread};
+use owl_bench::write_bench_json;
 use owl_core::{detect, record_trace, OwlConfig, TracedProgram, Verdict};
 use owl_workloads::aes::AesTTable;
 use owl_workloads::dummy::DummySbox;
 use owl_workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
 
+/// Host-only DATA observation of one workload.
+#[derive(serde::Serialize)]
+struct HostOnlyRow {
+    name: String,
+    host_sequences_differ: bool,
+}
+
+/// Per-thread tracing memory cost next to Owl's, for one thread count.
+#[derive(serde::Serialize)]
+struct PerThreadRow {
+    threads: usize,
+    owl_bytes: usize,
+    per_thread_bytes: usize,
+    ratio: f64,
+}
+
+/// Static IR analysis vs Owl on one leak-free kernel.
+#[derive(serde::Serialize)]
+struct StaticIrRow {
+    name: String,
+    owl_verdict: String,
+    static_findings: usize,
+}
+
+/// The full RQ3 comparison, one section per baseline tool.
+#[derive(serde::Serialize)]
+struct Rq3Comparison {
+    host_only: Vec<HostOnlyRow>,
+    per_thread: Vec<PerThreadRow>,
+    static_ir: Vec<StaticIrRow>,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("RQ3 — applicability of existing tools to CUDA applications");
     println!();
+    let mut doc = Rq3Comparison {
+        host_only: Vec::new(),
+        per_thread: Vec::new(),
+        static_ir: Vec::new(),
+    };
 
     // ---- DATA on the host side -------------------------------------------
     println!("[DATA, host-only observation]");
@@ -33,6 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  AES T-table: host sequences differ = {} (Owl finds the in-kernel data-flow leak)",
         host.host_sequences_differ
     );
+    doc.host_only.push(HostOnlyRow {
+        name: "aes128-ttable".into(),
+        host_sequences_differ: host.host_sequences_differ,
+    });
     let f = TorchFunction::new(TorchOpKind::TensorRepr);
     let inputs = [
         TorchInput::Tensor(Tensor::zeros([owl_workloads::torch::function::VEC_N])),
@@ -43,6 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  Tensor.__repr__: host sequences differ = {} (kernel leaks originate in host code)",
         host.host_sequences_differ
     );
+    doc.host_only.push(HostOnlyRow {
+        name: "tensor-repr".into(),
+        host_sequences_differ: host.host_sequences_differ,
+    });
 
     // ---- DATA per-thread scalability ---------------------------------------
     println!();
@@ -62,6 +108,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             owl_bench::fmt_bytes(pt_bytes),
             pt_bytes as f64 / owl_bytes as f64
         );
+        doc.per_thread.push(PerThreadRow {
+            threads: elems,
+            owl_bytes,
+            per_thread_bytes: pt_bytes,
+            ratio: pt_bytes as f64 / owl_bytes as f64,
+        });
     }
 
     // ---- Static IR analysis -------------------------------------------------
@@ -102,6 +154,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             kind.label(),
             owl_verdict
         );
+        doc.static_ir.push(StaticIrRow {
+            name: kind.label().to_string(),
+            owl_verdict: owl_core::verdict_name(owl_verdict).to_string(),
+            static_findings: findings,
+        });
     }
     println!(
         "  => {owl_clean}/5 clean under Owl; {total_findings} static findings on the same kernels \
@@ -119,5 +176,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.count(FindingKind::TidBranch),
     );
     println!("  (tid-derived addressing and `tid < n` guards are idiomatic CUDA, not leaks)");
+    let path = write_bench_json("rq3", &doc)?;
+    println!();
+    println!("machine-readable comparison: {}", path.display());
     Ok(())
 }

@@ -14,7 +14,7 @@
 //! | nvJPEG enc.  | 0            | 45         | 98         |
 //! | nvJPEG dec.  | —            | none       | none       |
 
-use owl_bench::leak_row;
+use owl_bench::{leak_row, write_bench_json};
 use owl_core::TracedProgram;
 use owl_workloads::aes::{AesScan, AesTTable};
 use owl_workloads::coalescing::CoalescingStride;
@@ -126,6 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("{:-<78}", "");
-    println!("{}", serde_json::to_string_pretty(&rows)?);
+    let path = write_bench_json("table3", &rows)?;
+    println!("machine-readable rows: {}", path.display());
     Ok(())
 }

@@ -6,14 +6,15 @@
 //! cargo run --release -p owl-bench --bin table4 [--runs N]
 //! ```
 
-use owl_bench::fmt_bytes;
-use owl_core::{detect, record_trace, OwlConfig, TracedProgram};
+use owl_bench::{fmt_bytes, write_bench_json};
+use owl_core::{detect, record_trace, OwlConfig, SimCounters, TracedProgram};
 use owl_workloads::aes::AesTTable;
 use owl_workloads::jpeg::{synthetic_image, JpegDecode, JpegEncode};
 use owl_workloads::rsa::RsaSquareMultiply;
 use owl_workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
 use std::time::Instant;
 
+#[derive(serde::Serialize)]
 struct Row {
     name: String,
     trace_bytes: usize,
@@ -23,6 +24,7 @@ struct Row {
     test_ms: f64,
     peak_bytes: usize,
     total_ms: f64,
+    counters: SimCounters,
 }
 
 fn measure<P>(name: &str, program: &P, inputs: &[P::Input], runs: usize) -> Row
@@ -56,6 +58,7 @@ where
         test_ms: detection.stats.test_time.as_secs_f64() * 1e3,
         peak_bytes: detection.stats.peak_evidence_bytes,
         total_ms: detection.stats.total_time.as_secs_f64() * 1e3,
+        counters: detection.counters,
     }
 }
 
@@ -121,4 +124,6 @@ fn main() {
     println!("{:-<108}", "");
     println!("* peak RAM counts the resident evidence structures (the dominant state),");
     println!("  mirroring the paper's maximum-RAM column at simulator scale.");
+    let path = write_bench_json("table4", &rows).expect("write BENCH_table4.json");
+    println!("machine-readable rows: {}", path.display());
 }

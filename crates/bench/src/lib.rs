@@ -60,6 +60,41 @@ where
     ))
 }
 
+/// Writes an artefact's data to `BENCH_<artefact>.json`, wrapped in a
+/// schema-versioned envelope:
+///
+/// ```json
+/// { "schema_version": 1, "artefact": "table4", "data": ... }
+/// ```
+///
+/// The file goes to the directory named by the `OWL_BENCH_DIR` environment
+/// variable (default: the current directory). Returns the path written.
+/// `schema_version` follows [`owl_core::SCHEMA_VERSION`] and its bump
+/// policy; `data` is the artefact's own row layout.
+///
+/// # Errors
+///
+/// Propagates serialization and filesystem failures.
+pub fn write_bench_json<T: serde::Serialize + ?Sized>(
+    artefact: &str,
+    data: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    let body = serde_json::to_string_pretty(data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    // The vendored serde_derive rejects generic structs, so the envelope is
+    // spliced as text instead of going through a generic wrapper type.
+    let indented = body.replace('\n', "\n  ");
+    let doc = format!(
+        "{{\n  \"schema_version\": {},\n  \"artefact\": \"{artefact}\",\n  \"data\": {indented}\n}}\n",
+        owl_core::SCHEMA_VERSION
+    );
+    let dir = std::env::var_os("OWL_BENCH_DIR")
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
+    let path = dir.join(format!("BENCH_{artefact}.json"));
+    std::fs::write(&path, doc)?;
+    Ok(path)
+}
+
 /// Formats a byte count like the paper's MB columns.
 pub fn fmt_bytes(bytes: usize) -> String {
     if bytes >= 1 << 20 {
@@ -80,6 +115,39 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512 B");
         assert_eq!(fmt_bytes(2048), "2.00 KB");
         assert_eq!(fmt_bytes(3 << 20), "3.00 MB");
+    }
+
+    #[test]
+    fn write_bench_json_wraps_with_schema_version() {
+        let dir = std::env::temp_dir().join("owl-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("OWL_BENCH_DIR", &dir);
+        let rows = vec![LeakRow {
+            name: "toy".into(),
+            kernel: 1,
+            data_flow: 2,
+            control_flow: 0,
+            verdict: "Leaky".into(),
+        }];
+        let path = write_bench_json("test-artefact", &rows).unwrap();
+        std::env::remove_var("OWL_BENCH_DIR");
+        assert_eq!(path, dir.join("BENCH_test-artefact.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let map = value.as_map().expect("envelope is an object");
+        let get = |key: &str| {
+            map.iter()
+                .find(|(k, _)| k.as_str() == Some(key))
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key:?}"))
+        };
+        assert_eq!(
+            *get("schema_version"),
+            serde_json::Value::Int(i128::from(owl_core::SCHEMA_VERSION))
+        );
+        assert_eq!(get("artefact").as_str(), Some("test-artefact"));
+        let data = get("data").as_seq().expect("data is the row array");
+        assert_eq!(data.len(), 1);
     }
 
     #[test]

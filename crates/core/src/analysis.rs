@@ -59,6 +59,39 @@ impl Default for AnalysisConfig {
     }
 }
 
+impl AnalysisConfig {
+    /// A fluent builder over the defaults:
+    /// `AnalysisConfig::builder().alpha(0.99).build()`.
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder::default()
+    }
+}
+
+/// Builder for [`AnalysisConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfigBuilder {
+    config: AnalysisConfig,
+}
+
+impl AnalysisConfigBuilder {
+    /// Confidence level of the distribution tests.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// The distribution test to use.
+    pub fn method(mut self, method: TestMethod) -> Self {
+        self.config.method = method;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisConfig {
+        self.config
+    }
+}
+
 /// The outcome of one two-sample test, method-agnostic.
 struct TestOutcome {
     statistic: f64,

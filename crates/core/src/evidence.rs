@@ -35,7 +35,30 @@ pub struct Evidence {
     pub mallocs: BTreeMap<MallocRecord, u64>,
 }
 
+impl EvidenceInvocation {
+    /// Estimated in-memory footprint in bytes: the merged A-DCFG plus the
+    /// invocation-site identity and per-position bookkeeping.
+    pub fn size_bytes(&self) -> usize {
+        self.adcfg.size_bytes()
+            + self.key.kernel.len()
+            + std::mem::size_of::<InvocationKey>()
+            + self.configs.len() * std::mem::size_of::<ConfigTuple>()
+            + std::mem::size_of_val(&self.present_runs)
+    }
+}
+
 impl Evidence {
+    /// Estimated in-memory footprint in bytes — the peak-memory quantity of
+    /// the paper's Table IV. Malloc entries are sized from the actual map
+    /// entry type (`(MallocRecord, u64)`) rather than a guessed constant.
+    pub fn size_bytes(&self) -> usize {
+        self.invocations
+            .iter()
+            .map(EvidenceInvocation::size_bytes)
+            .sum::<usize>()
+            + self.mallocs.len() * std::mem::size_of::<(MallocRecord, u64)>()
+    }
+
     /// Builds evidence from an iterator of traces.
     pub fn from_traces(traces: impl IntoIterator<Item = ProgramTrace>) -> Self {
         let mut ev = Evidence::default();

@@ -84,16 +84,19 @@ mod parallel;
 pub mod program;
 pub mod record;
 pub mod report;
+pub mod summary;
 pub mod trace;
 pub mod tracer;
 
-pub use analysis::{leakage_test, AnalysisConfig, TestMethod};
+pub use analysis::{leakage_test, AnalysisConfig, AnalysisConfigBuilder, TestMethod};
 pub use error::DetectError;
 pub use evidence::Evidence;
 pub use filter::{filter_traces, FilterOutcome, InputClass};
-pub use owl::{detect, Detection, OwlConfig, PhaseStats, Verdict};
+pub use owl::{detect, Detection, OwlConfig, OwlConfigBuilder, PhaseStats, Verdict};
+pub use owl_metrics::{PhaseSpan, SimCounters, Spans, SCHEMA_VERSION};
 pub use program::TracedProgram;
-pub use record::{record_run, record_trace, record_trace_on, RunSpec};
+pub use record::{record_run, record_run_metered, record_trace, record_trace_on, RunSpec};
 pub use report::{Leak, LeakKind, LeakLocation, LeakReport};
+pub use summary::{verdict_name, DetectionSummary, MetricsReport, PhaseStatsMs};
 pub use trace::{InvocationKey, KernelInvocation, MallocRecord, ProgramTrace};
 pub use tracer::OwlTracer;

@@ -6,8 +6,9 @@ use crate::evidence::Evidence;
 use crate::filter::{filter_traces, FilterOutcome};
 use crate::parallel::parallel_map;
 use crate::program::TracedProgram;
-use crate::record::{record_run, RunSpec};
+use crate::record::{record_run_metered, RunSpec};
 use crate::report::LeakReport;
+use owl_metrics::{SimCounters, Spans};
 use std::time::{Duration, Instant};
 
 /// Recording stream of the phase-1 user-input recordings.
@@ -73,6 +74,77 @@ impl Default for OwlConfig {
     }
 }
 
+impl OwlConfig {
+    /// A fluent builder over the defaults:
+    /// `OwlConfig::builder().runs(40).aslr_seed(7).build()`. Struct-literal
+    /// construction via [`Default`] keeps working.
+    pub fn builder() -> OwlConfigBuilder {
+        OwlConfigBuilder::default()
+    }
+}
+
+/// Builder for [`OwlConfig`]; every setter has the same name and meaning as
+/// the corresponding config field.
+#[derive(Debug, Clone, Default)]
+pub struct OwlConfigBuilder {
+    config: OwlConfig,
+}
+
+impl OwlConfigBuilder {
+    /// Executions per evidence side.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.config.runs = runs;
+        self
+    }
+
+    /// KS confidence level.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Base seed for drawing random inputs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Run the leakage analysis even for a single input class.
+    pub fn force_analysis(mut self, force: bool) -> Self {
+        self.config.force_analysis = force;
+        self
+    }
+
+    /// The distribution test to use.
+    pub fn method(mut self, method: TestMethod) -> Self {
+        self.config.method = method;
+        self
+    }
+
+    /// SIMT warp width for every recorded execution.
+    pub fn warp_size(mut self, warp_size: u32) -> Self {
+        self.config.warp_size = warp_size;
+        self
+    }
+
+    /// Enables simulated ASLR derived from this seed.
+    pub fn aslr_seed(mut self, seed: u64) -> Self {
+        self.config.aslr_seed = Some(seed);
+        self
+    }
+
+    /// Worker threads for the recording and analysis fan-out.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> OwlConfig {
+        self.config
+    }
+}
+
 /// Cost accounting for one detection, mirroring the columns of the paper's
 /// Table IV.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -124,6 +196,13 @@ pub struct Detection<I> {
     pub verdict: Verdict,
     /// Cost accounting.
     pub stats: PhaseStats,
+    /// Simulator execution counters totalled over every recorded run
+    /// (phase 1 and evidence alike). Deterministic: bit-identical for every
+    /// `parallelism` setting, like the report itself.
+    pub counters: SimCounters,
+    /// Wall-clock spans of the detector phases, in phase order.
+    /// Non-deterministic by nature — excluded from any reproducible output.
+    pub spans: Spans,
 }
 
 /// One evidence-phase work item: a contiguous chunk of run indices for one
@@ -186,18 +265,27 @@ where
         run_index: run_index as u64,
     };
     let t_total = Instant::now();
+    let mut spans = Spans::new();
+    let mut counters = SimCounters::default();
 
     // Phase 1 + 2: record one trace per user input (fanned out, collected
-    // in input order) and filter into classes.
+    // in input order) and filter into classes. Counters merge in input
+    // order; u64 addition commutes, so the totals match the serial run.
     let t0 = Instant::now();
-    let traces = parallel_map(workers, user_inputs.len(), |i| {
-        record_run(program, &user_inputs[i], &spec(STREAM_USER, i))
+    let recorded = parallel_map(workers, user_inputs.len(), |i| {
+        record_run_metered(program, &user_inputs[i], &spec(STREAM_USER, i))
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    let mut traces = Vec::with_capacity(recorded.len());
+    for (trace, run_counters) in recorded {
+        counters.merge(&run_counters);
+        traces.push(trace);
+    }
     let trace_bytes = traces.iter().map(|t| t.size_bytes()).sum::<usize>() / traces.len().max(1);
     let filter = filter_traces(user_inputs, traces);
     let trace_collection_time = t0.elapsed();
+    spans.record("trace_collection", trace_collection_time);
 
     if filter.single_class() && !config.force_analysis {
         return Ok(Detection {
@@ -210,6 +298,8 @@ where
                 total_time: t_total.elapsed(),
                 ..Default::default()
             },
+            counters,
+            spans,
         });
     }
 
@@ -241,6 +331,7 @@ where
         let item = &items[i];
         let t = Instant::now();
         let mut partial = Evidence::default();
+        let mut chunk_counters = SimCounters::default();
         let outcome = (|| -> Result<(), DetectError> {
             for run in item.start..item.end {
                 let random_input;
@@ -251,25 +342,30 @@ where
                     }
                     Some(c) => &filter.classes[c].representative,
                 };
-                partial.merge_trace(record_run(program, input, &spec(item.stream, run))?);
+                let (trace, run_counters) =
+                    record_run_metered(program, input, &spec(item.stream, run))?;
+                chunk_counters.merge(&run_counters);
+                partial.merge_trace(trace);
             }
             Ok(())
         })();
-        (outcome.map(|()| partial), t.elapsed())
+        (outcome.map(|()| (partial, chunk_counters)), t.elapsed())
     });
     let evidence_cpu_time = partials.iter().map(|(_, elapsed)| *elapsed).sum();
     let mut rnd = Evidence::default();
     let mut fixes = vec![Evidence::default(); filter.classes.len()];
     for (item, (result, _)) in items.iter().zip(partials) {
-        let partial = result?;
+        let (partial, chunk_counters) = result?;
+        counters.merge(&chunk_counters);
         match item.class {
             None => rnd.merge(partial),
             Some(c) => fixes[c].merge(partial),
         }
     }
     let evidence_time = t1.elapsed();
+    spans.record("evidence", evidence_time);
     let peak_evidence_bytes =
-        evidence_bytes(&rnd) + fixes.iter().map(evidence_bytes).max().unwrap_or(0);
+        rnd.size_bytes() + fixes.iter().map(Evidence::size_bytes).max().unwrap_or(0);
 
     // Distribution tests: one per class, fanned out, merged in class order.
     let t2 = Instant::now();
@@ -285,6 +381,7 @@ where
         report.merge(class_report);
     }
     let test_time = t2.elapsed();
+    spans.record("analysis", test_time);
 
     let verdict = if report.is_clean() {
         Verdict::NoInputDependence
@@ -306,13 +403,7 @@ where
         filter,
         report,
         verdict,
+        counters,
+        spans,
     })
-}
-
-fn evidence_bytes(e: &Evidence) -> usize {
-    e.invocations
-        .iter()
-        .map(|i| i.adcfg.size_bytes())
-        .sum::<usize>()
-        + e.mallocs.len() * 32
 }

@@ -86,6 +86,25 @@ pub fn record_run<P: TracedProgram>(
     input: &P::Input,
     spec: &RunSpec,
 ) -> Result<ProgramTrace, DetectError> {
+    record_run_metered(program, input, spec).map(|(trace, _)| trace)
+}
+
+/// [`record_run`] that also returns the run's simulator execution counters.
+///
+/// The counters are kept **out of** [`ProgramTrace`] on purpose: traces are
+/// compared and digested by the duplicate filter, and folding counters into
+/// them would change trace identity. The counters are deterministic for a
+/// given `(program, input, spec)` — they come from the warp-lockstep
+/// execution itself — so they inherit the same purity as the trace.
+///
+/// # Errors
+///
+/// See [`record_trace`].
+pub fn record_run_metered<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    spec: &RunSpec,
+) -> Result<(ProgramTrace, owl_metrics::SimCounters), DetectError> {
     let mut device = match spec.layout_seed() {
         None => Device::new(),
         Some(seed) => Device::with_aslr(seed),
@@ -94,7 +113,8 @@ pub fn record_run<P: TracedProgram>(
         warp_size: spec.warp_size,
         ..owl_gpu::exec::LaunchOptions::default()
     });
-    record_trace_on(program, input, &mut device)
+    let trace = record_trace_on(program, input, &mut device)?;
+    Ok((trace, device.total_stats().counters))
 }
 
 /// [`record_trace`] on a caller-provided device (e.g. one with simulated
@@ -289,6 +309,25 @@ mod tests {
         let a = record_run(&toy, &5, &spec).unwrap();
         let b = record_run(&toy, &5, &spec).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metered_recording_is_pure_and_counts_execution() {
+        let toy = Toy::new();
+        let spec = RunSpec {
+            warp_size: 32,
+            aslr_seed: Some(9),
+            stream: 1,
+            run_index: 4,
+        };
+        let (trace_a, counters_a) = record_run_metered(&toy, &5, &spec).unwrap();
+        let (trace_b, counters_b) = record_run_metered(&toy, &5, &spec).unwrap();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(counters_a, counters_b);
+        assert!(counters_a.instructions > 0);
+        assert!(counters_a.mem_accesses > 0);
+        // The plain recorder sees the same trace.
+        assert_eq!(record_run(&toy, &5, &spec).unwrap(), trace_a);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::hook::{KernelHook, LaunchInfo};
 use crate::mem::{DeviceMemory, LinearMemory};
 use crate::program::KernelProgram;
 use crate::warp::{ExecEnv, WarpExec, WarpStatus};
+use owl_metrics::SimCounters;
 
 /// Default per-launch instruction budget; generous enough for every
 /// workload in this repository while still catching runaway loops.
@@ -29,6 +30,21 @@ pub struct LaunchStats {
     pub ctas: u64,
     /// Number of non-empty warps executed.
     pub warps: u64,
+    /// Detailed execution counters (divergence, reconvergence, memory
+    /// transactions, bank conflicts, …) accumulated by the interpreter.
+    /// `counters.instructions` always equals `instructions`.
+    pub counters: SimCounters,
+}
+
+impl LaunchStats {
+    /// Accumulates another launch's statistics into this one (used by the
+    /// host runtime to keep per-device running totals).
+    pub fn accumulate(&mut self, other: &LaunchStats) {
+        self.instructions += other.instructions;
+        self.ctas += other.ctas;
+        self.warps += other.warps;
+        self.counters.merge(&other.counters);
+    }
 }
 
 /// Launch options beyond geometry.
@@ -126,7 +142,7 @@ pub fn launch_with_options(
     hook.kernel_begin(&info);
 
     let mut fuel = options.fuel;
-    let mut executed = 0u64;
+    let mut counters = SimCounters::default();
     let mut stats = LaunchStats::default();
 
     let n_ctas = config.grid.total();
@@ -167,7 +183,7 @@ pub fn launch_with_options(
                     hook,
                     fuel: &mut fuel,
                     args,
-                    executed: &mut executed,
+                    counters: &mut counters,
                 };
                 match warp.run(&mut env)? {
                     WarpStatus::AtBarrier => at_barrier += 1,
@@ -189,7 +205,8 @@ pub fn launch_with_options(
         }
     }
 
-    stats.instructions = executed;
+    stats.instructions = counters.instructions;
+    stats.counters = counters;
     hook.kernel_end(&info);
     Ok(stats)
 }
@@ -345,6 +362,132 @@ mod tests {
             // Entry block + exactly one of the two branch blocks.
             assert_eq!(hook.bb_entries.len(), 2, "flag {flag}");
         }
+    }
+
+    /// Execution counters: a divergent `If` records one divergence and one
+    /// reconvergence, and memory accesses classify by coalescing.
+    #[test]
+    fn counters_track_divergence_and_coalescing() {
+        let b = KernelBuilder::new("ctr");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::GlobalTid);
+        let bit = b.and(tid, 1u64);
+        let addr = b.add(out, tid);
+        let p = b.setp(CmpOp::Eq, bit, 0u64);
+        b.if_then_else(
+            p,
+            |b| {
+                b.store_global(addr, 1u64, MemWidth::B1);
+            },
+            |b| {
+                b.store_global(addr, 2u64, MemWidth::B1);
+            },
+        );
+        // Scattered load: stride 64 bytes puts every lane in its own
+        // 32-byte segment.
+        let sc = b.add(out, b.mul(tid, 64u64));
+        let _ = b.load_global(sc, MemWidth::B1);
+        let k = b.finish();
+
+        let mut mem = DeviceMemory::new();
+        let (_, o) = mem.alloc(64 * 32);
+        let stats = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap();
+        let c = stats.counters;
+        assert_eq!(c.instructions, stats.instructions);
+        assert_eq!(c.divergence_events, 1);
+        assert_eq!(c.reconvergences, 1);
+        assert!(c.branches >= 1);
+        assert_eq!(c.mem_accesses, 3);
+        // Each side's store covers 32 consecutive bytes (16 lanes, stride
+        // 2) = 1 segment; the scattered load costs 32 transactions.
+        assert_eq!(c.mem_transactions, 1 + 1 + 32);
+        assert_eq!(c.coalesced_accesses, 2);
+        assert_eq!(c.serialized_accesses, 1);
+        assert_eq!(c.bank_conflicts, 0);
+    }
+
+    /// Execution counters on a divergent loop: lane `i` of 32 iterates `i`
+    /// times, shedding one lane per iteration — 31 divergence events, one
+    /// reconvergence when the loop drains, 32 condition evaluations.
+    #[test]
+    fn counters_track_loop_divergence() {
+        let b = KernelBuilder::new("loopctr");
+        let tid = b.special(SpecialReg::GlobalTid);
+        let i = b.mov(0u64);
+        b.while_loop(
+            |b| b.setp(CmpOp::LtU, i, tid),
+            |b| {
+                let ip = b.add(i, 1u64);
+                b.assign(i, ip);
+            },
+        );
+        let k = b.finish();
+
+        let mut mem = DeviceMemory::new();
+        let stats = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[],
+            &mut NullHook,
+        )
+        .unwrap();
+        let c = stats.counters;
+        assert_eq!(c.branches, 32);
+        assert_eq!(c.divergence_events, 31);
+        assert_eq!(c.reconvergences, 1);
+    }
+
+    /// A uniform branch and a uniform (all-lanes-exit-together) loop count
+    /// no divergence and no reconvergence.
+    #[test]
+    fn counters_uniform_control_flow_is_convergent() {
+        let b = KernelBuilder::new("uni");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::GlobalTid);
+        let addr = b.add(out, tid);
+        let p = b.setp(CmpOp::LtU, tid, 64u64);
+        b.if_then_else(
+            p,
+            |b| {
+                b.store_global(addr, 1u64, MemWidth::B1);
+            },
+            |b| {
+                b.store_global(addr, 2u64, MemWidth::B1);
+            },
+        );
+        let i = b.mov(0u64);
+        b.while_loop(
+            |b| b.setp(CmpOp::LtU, i, 3u64),
+            |b| {
+                let ip = b.add(i, 1u64);
+                b.assign(i, ip);
+            },
+        );
+        let k = b.finish();
+
+        let mut mem = DeviceMemory::new();
+        let (_, o) = mem.alloc(32);
+        let stats = launch(
+            &mut mem,
+            &k,
+            LaunchConfig::new(1u32, 32u32),
+            &[o],
+            &mut NullHook,
+        )
+        .unwrap();
+        let c = stats.counters;
+        // One If + four loop condition evaluations.
+        assert_eq!(c.branches, 5);
+        assert_eq!(c.divergence_events, 0);
+        assert_eq!(c.reconvergences, 0);
     }
 
     /// SIMT loop divergence: lane `i` iterates `i` times; the warp iterates

@@ -105,6 +105,29 @@ impl MemAccessEvent {
             MemSpace::Local | MemSpace::Constant | MemSpace::Texture => 1,
         }
     }
+
+    /// Folds this access into the launch's execution counters: every event
+    /// bumps `mem_accesses`; global accesses add their transaction count
+    /// and are classified as coalesced (one transaction) or serialized;
+    /// shared accesses add their *excess* bank cycles (degree − 1).
+    pub fn apply_counters(&self, c: &mut owl_metrics::SimCounters) {
+        c.mem_accesses += 1;
+        match self.space {
+            MemSpace::Global => {
+                let tx = u64::from(self.coalesced_transactions());
+                c.mem_transactions += tx;
+                if tx <= 1 {
+                    c.coalesced_accesses += 1;
+                } else {
+                    c.serialized_accesses += 1;
+                }
+            }
+            MemSpace::Shared => {
+                c.bank_conflicts += u64::from(self.bank_conflict_degree()) - 1;
+            }
+            MemSpace::Local | MemSpace::Constant | MemSpace::Texture => {}
+        }
+    }
 }
 
 /// Static information about a launch, passed to begin/end callbacks.
@@ -288,6 +311,35 @@ mod tests {
         assert_eq!(e.cost_feature(), 32);
         e.space = MemSpace::Shared;
         assert_eq!(e.cost_feature(), 16, "stride-64B over 32 banks of 4B words");
+    }
+
+    #[test]
+    fn apply_counters_classifies_by_space() {
+        let mk = |space, addrs: Vec<u64>| MemAccessEvent {
+            bb: BlockId(0),
+            inst_idx: 0,
+            space,
+            kind: AccessKind::Read,
+            lane_addrs: addrs
+                .into_iter()
+                .enumerate()
+                .map(|(l, a)| (l as u8, a))
+                .collect(),
+        };
+        let mut c = owl_metrics::SimCounters::default();
+        // Coalesced global: one segment.
+        mk(MemSpace::Global, (0..32).collect()).apply_counters(&mut c);
+        assert_eq!((c.mem_transactions, c.coalesced_accesses), (1, 1));
+        // Scattered global: 32 segments.
+        mk(MemSpace::Global, (0..32).map(|i| i * 64).collect()).apply_counters(&mut c);
+        assert_eq!((c.mem_transactions, c.serialized_accesses), (33, 1));
+        // Stride-2 shared words: 2-way conflicts → 1 excess cycle.
+        mk(MemSpace::Shared, (0..32).map(|i| i * 8).collect()).apply_counters(&mut c);
+        assert_eq!(c.bank_conflicts, 1);
+        // Constant space only bumps the access count.
+        mk(MemSpace::Constant, vec![0]).apply_counters(&mut c);
+        assert_eq!(c.mem_accesses, 4);
+        assert_eq!(c.mem_transactions, 33);
     }
 
     #[test]

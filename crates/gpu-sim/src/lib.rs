@@ -79,4 +79,5 @@ pub use hook::{
     AccessKind, KernelHook, LaunchInfo, MemAccessEvent, NullHook, RecordingHook, WarpRef,
 };
 pub use mem::{AllocId, DeviceMemory};
+pub use owl_metrics::SimCounters;
 pub use program::{BlockId, KernelProgram};

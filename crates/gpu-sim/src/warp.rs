@@ -26,6 +26,7 @@ use crate::isa::{
 };
 use crate::mem::{DeviceMemory, LinearMemory};
 use crate::program::{BlockId, KernelProgram, Region, Stmt};
+use owl_metrics::SimCounters;
 
 /// An activity mask wide enough for any supported warp (up to 64 lanes).
 pub type Mask = u64;
@@ -43,8 +44,9 @@ pub(crate) struct ExecEnv<'a> {
     pub fuel: &'a mut u64,
     /// Kernel arguments.
     pub args: &'a [u64],
-    /// Executed-instruction counter for launch statistics.
-    pub executed: &'a mut u64,
+    /// Execution counters for launch statistics (instructions, branches,
+    /// divergence, memory transactions, …).
+    pub counters: &'a mut SimCounters,
 }
 
 /// Where a warp stopped when control returned to the engine.
@@ -65,12 +67,18 @@ enum FrameKind<'p> {
         pred: Pred,
         body: &'p Region,
         active: Mask,
+        /// Some iteration shed a strict, non-empty subset of lanes — the
+        /// loop has diverged and its eventual drain is a reconvergence.
+        diverged: bool,
     },
 }
 
 struct Frame<'p> {
     kind: FrameKind<'p>,
     mask: Mask,
+    /// Popping this frame rejoins a diverged warp (it is the last-finishing
+    /// side of a divergent `If`), so the pop counts as a reconvergence.
+    rejoin: bool,
 }
 
 /// What the interpreter loop decided to do next; extracted from the frame
@@ -158,6 +166,7 @@ impl<'p> WarpExec<'p> {
                 idx: 0,
             },
             mask: init_mask,
+            rejoin: false,
         });
         WarpExec {
             program,
@@ -257,6 +266,7 @@ impl<'p> WarpExec<'p> {
                             pred,
                             body,
                             active,
+                            ..
                         } => {
                             if *active == 0 {
                                 Action::Pop
@@ -274,7 +284,7 @@ impl<'p> WarpExec<'p> {
             };
             match action {
                 Action::Pop => {
-                    self.frames.pop();
+                    self.pop_frame(env.counters);
                 }
                 Action::Stmt(stmt, mask) => match stmt {
                     Stmt::Block(id) => self.exec_block(*id, mask, env)?,
@@ -283,28 +293,47 @@ impl<'p> WarpExec<'p> {
                         then_region,
                         else_region,
                     } => {
+                        env.counters.branches += 1;
                         let m_then = self.pred_mask(mask, *pred);
                         let m_else = mask & !m_then;
+                        // A divergence event: the branch splits the active
+                        // mask into two non-empty paths. The frame that pops
+                        // *last* carries the matching reconvergence.
+                        let diverged = m_then != 0 && m_else != 0;
+                        if diverged {
+                            env.counters.divergence_events += 1;
+                        }
+                        let push_else = m_else != 0 && !else_region.is_empty();
+                        let push_then = m_then != 0 && !then_region.is_empty();
                         // Push else first so the taken path runs first; both
                         // paths complete before the parent frame resumes —
                         // reconvergence at the immediate post-dominator.
-                        if m_else != 0 && !else_region.is_empty() {
+                        if push_else {
                             self.frames.push(Frame {
                                 kind: FrameKind::Seq {
                                     items: &else_region.0,
                                     idx: 0,
                                 },
                                 mask: m_else,
+                                // The else frame is below the then frame, so
+                                // it pops last and hosts the reconvergence.
+                                rejoin: diverged,
                             });
                         }
-                        if m_then != 0 && !then_region.is_empty() {
+                        if push_then {
                             self.frames.push(Frame {
                                 kind: FrameKind::Seq {
                                     items: &then_region.0,
                                     idx: 0,
                                 },
                                 mask: m_then,
+                                rejoin: diverged && !push_else,
                             });
+                        }
+                        if diverged && !push_else && !push_then {
+                            // Both regions empty: the warp rejoins right
+                            // here at the post-dominator.
+                            env.counters.reconvergences += 1;
                         }
                     }
                     Stmt::While {
@@ -318,8 +347,10 @@ impl<'p> WarpExec<'p> {
                                 pred: *pred,
                                 body,
                                 active: mask,
+                                diverged: false,
                             },
                             mask,
+                            rejoin: false,
                         });
                     }
                     Stmt::Sync => {
@@ -341,17 +372,29 @@ impl<'p> WarpExec<'p> {
                     active,
                 } => {
                     self.exec_block(cond_block, active, env)?;
+                    env.counters.branches += 1;
                     let still = self.pred_mask(active, pred);
                     let Some(Frame {
-                        kind: FrameKind::Loop { active: a, .. },
+                        kind:
+                            FrameKind::Loop {
+                                active: a,
+                                diverged,
+                                ..
+                            },
                         ..
                     }) = self.frames.last_mut()
                     else {
                         unreachable!("loop frame cannot disappear during its own condition");
                     };
                     *a = still;
+                    if still != 0 && still != active {
+                        // Some active lanes exited while others continue —
+                        // SIMT loop divergence.
+                        *diverged = true;
+                        env.counters.divergence_events += 1;
+                    }
                     if still == 0 {
-                        self.frames.pop();
+                        self.pop_frame(env.counters);
                     } else {
                         self.frames.push(Frame {
                             kind: FrameKind::Seq {
@@ -359,10 +402,24 @@ impl<'p> WarpExec<'p> {
                                 idx: 0,
                             },
                             mask: still,
+                            rejoin: false,
                         });
                     }
                 }
             }
+        }
+    }
+
+    /// Pops the top frame, counting the reconvergence it may represent: a
+    /// diverged `If` rejoins when its last-finishing side pops, a diverged
+    /// loop rejoins when it drains.
+    fn pop_frame(&mut self, counters: &mut SimCounters) {
+        let Some(frame) = self.frames.pop() else {
+            return;
+        };
+        let loop_rejoin = matches!(frame.kind, FrameKind::Loop { diverged: true, .. });
+        if frame.rejoin || loop_rejoin {
+            counters.reconvergences += 1;
         }
     }
 
@@ -380,7 +437,7 @@ impl<'p> WarpExec<'p> {
                 return Err(ExecError::FuelExhausted);
             }
             *env.fuel -= 1;
-            *env.executed += 1;
+            env.counters.instructions += 1;
             self.exec_inst(id, inst_idx as u32, inst, mask, env)?;
         }
         Ok(())
@@ -475,16 +532,15 @@ impl<'p> WarpExec<'p> {
                             })?;
                     self.set_reg(lane, *dst, v);
                 }
-                env.hook.mem_access(
-                    self.warp_ref,
-                    &MemAccessEvent {
-                        bb,
-                        inst_idx,
-                        space: *space,
-                        kind: AccessKind::Read,
-                        lane_addrs,
-                    },
-                );
+                let event = MemAccessEvent {
+                    bb,
+                    inst_idx,
+                    space: *space,
+                    kind: AccessKind::Read,
+                    lane_addrs,
+                };
+                event.apply_counters(env.counters);
+                env.hook.mem_access(self.warp_ref, &event);
             }
             InstOp::St {
                 space,
@@ -507,16 +563,15 @@ impl<'p> WarpExec<'p> {
                             source,
                         })?;
                 }
-                env.hook.mem_access(
-                    self.warp_ref,
-                    &MemAccessEvent {
-                        bb,
-                        inst_idx,
-                        space: *space,
-                        kind: AccessKind::Write,
-                        lane_addrs,
-                    },
-                );
+                let event = MemAccessEvent {
+                    bb,
+                    inst_idx,
+                    space: *space,
+                    kind: AccessKind::Write,
+                    lane_addrs,
+                };
+                event.apply_counters(env.counters);
+                env.hook.mem_access(self.warp_ref, &event);
             }
             InstOp::LdParam { dst, index } => {
                 let v = *env
@@ -579,16 +634,15 @@ impl<'p> WarpExec<'p> {
                     })?;
                     self.set_reg(lane, *dst, old);
                 }
-                env.hook.mem_access(
-                    self.warp_ref,
-                    &MemAccessEvent {
-                        bb,
-                        inst_idx,
-                        space: *space,
-                        kind: AccessKind::Atomic,
-                        lane_addrs,
-                    },
-                );
+                let event = MemAccessEvent {
+                    bb,
+                    inst_idx,
+                    space: *space,
+                    kind: AccessKind::Atomic,
+                    lane_addrs,
+                };
+                event.apply_counters(env.counters);
+                env.hook.mem_access(self.warp_ref, &event);
             }
             InstOp::Shfl {
                 mode,
@@ -641,16 +695,15 @@ impl<'p> WarpExec<'p> {
                     lane_addrs.push((lane as u8, idx));
                     self.set_reg(lane, *dst, u64::from(texel));
                 }
-                env.hook.mem_access(
-                    self.warp_ref,
-                    &MemAccessEvent {
-                        bb,
-                        inst_idx,
-                        space: MemSpace::Texture,
-                        kind: AccessKind::Read,
-                        lane_addrs,
-                    },
-                );
+                let event = MemAccessEvent {
+                    bb,
+                    inst_idx,
+                    space: MemSpace::Texture,
+                    kind: AccessKind::Read,
+                    lane_addrs,
+                };
+                event.apply_counters(env.counters);
+                env.hook.mem_access(self.warp_ref, &event);
             }
         }
         Ok(())

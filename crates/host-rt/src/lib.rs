@@ -443,9 +443,7 @@ impl Device {
                 self.launch_options,
             )?,
         };
-        self.total_stats.instructions += stats.instructions;
-        self.total_stats.ctas += stats.ctas;
-        self.total_stats.warps += stats.warps;
+        self.total_stats.accumulate(&stats);
         Ok(stats)
     }
 
@@ -723,5 +721,8 @@ mod tests {
             .unwrap();
         assert_eq!(dev.total_stats().instructions, after_one * 2);
         assert_eq!(dev.total_stats().warps, 2);
+        let c = dev.total_stats().counters;
+        assert_eq!(c.instructions, after_one * 2);
+        assert!(c.mem_accesses > 0);
     }
 }

@@ -1,0 +1,281 @@
+//! Observability primitives for the Owl pipeline.
+//!
+//! Three concerns live here, deliberately free of any dependency on the
+//! simulator or the detector so every layer of the workspace can use them:
+//!
+//! * [`SimCounters`] — per-execution counters the SIMT interpreter
+//!   accumulates (instructions, branches, divergence, memory transactions,
+//!   bank conflicts). They are **deterministic**: counting happens on the
+//!   warp-lockstep execution itself, which is a pure function of
+//!   `(program, input, layout seed)`, so counter totals are bit-identical
+//!   across recording orders and worker counts. Addition over `u64` is
+//!   associative and commutative, which is what lets the detector merge
+//!   per-chunk partials in any grouping and still match the serial total.
+//! * [`PhaseSpan`] / [`Spans`] — named wall-clock spans for the detector's
+//!   phases. Spans are *non-deterministic by nature* (they measure time)
+//!   and are therefore kept strictly apart from the counters: the
+//!   machine-readable detection summary contains only deterministic
+//!   fields, while spans go to the separate metrics report.
+//! * [`SCHEMA_VERSION`] — the version stamp every machine-readable report
+//!   carries. See the schema-version policy below.
+//!
+//! # Cost model
+//!
+//! Counter accumulation is a handful of branch-free `u64` additions on the
+//! interpreter hot path — there is no sink registration, no atomics, no
+//! allocation. "Disabled" observability means *not reading* the counters;
+//! the accumulation itself is cheap enough to be always-on, which is what
+//! keeps the determinism contract simple (there is no mode in which the
+//! counters could silently diverge from the execution).
+//!
+//! # Schema-version policy
+//!
+//! [`SCHEMA_VERSION`] is bumped whenever a field of the emitted JSON
+//! changes meaning, is renamed, or is removed. *Adding* a field is not a
+//! breaking change (consumers must ignore unknown fields) and does not
+//! bump the version. Every JSON document produced by `owl-detect` or the
+//! bench binaries carries the version under the key `"schema_version"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Version stamp of every machine-readable report emitted by the
+/// workspace (`owl-detect --format json`, `--metrics-out`, and the
+/// `BENCH_*.json` files). See the crate docs for the bump policy.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Execution counters accumulated by the SIMT interpreter over one or more
+/// kernel launches.
+///
+/// All counts are observed at **warp granularity** (one SIMD unit per
+/// event), matching how Owl's tracer sees the machine. The counters form a
+/// commutative monoid under [`merge`](Self::merge) — merging per-run or
+/// per-chunk partials in any grouping yields the same totals, which is the
+/// property the parallel detector's determinism contract extends to
+/// metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Dynamic instructions retired (counted once per warp, as a SIMD
+    /// unit).
+    pub instructions: u64,
+    /// Control-flow decision points executed per warp: structured `If`
+    /// statements plus `While` condition evaluations.
+    pub branches: u64,
+    /// Divergence events: branch decisions that split a warp's active mask
+    /// into two non-empty execution paths — an `If` taken by some active
+    /// lanes and not others, or a loop iteration where some active lanes
+    /// exit while others continue.
+    pub divergence_events: u64,
+    /// Reconvergence events: a previously diverged warp resuming lockstep
+    /// execution — once per diverged `If` at its immediate post-dominator,
+    /// once per diverged loop when its last lane leaves.
+    pub reconvergences: u64,
+    /// Warp-level memory access instructions executed (all memory spaces;
+    /// one count per `Ld`/`St`/atomic/texture event regardless of how many
+    /// lanes participate).
+    pub mem_accesses: u64,
+    /// Global-memory transactions issued under the hardware coalescing
+    /// model: the number of distinct 32-byte segments each global access
+    /// touches, summed over all global accesses.
+    pub mem_transactions: u64,
+    /// Global accesses whose lanes coalesced into a single transaction.
+    pub coalesced_accesses: u64,
+    /// Global accesses that needed more than one transaction (partially or
+    /// fully serialized by the memory system).
+    pub serialized_accesses: u64,
+    /// Excess shared-memory bank cycles: for each shared access, its bank
+    /// conflict degree minus one (0 for conflict-free), summed. This is
+    /// the number of *extra* serialization cycles the access pattern costs
+    /// over the conflict-free case.
+    pub bank_conflicts: u64,
+}
+
+impl SimCounters {
+    /// Adds another counter set into this one. Associative and
+    /// commutative; [`SimCounters::default`] is the identity.
+    #[inline]
+    pub fn merge(&mut self, other: &SimCounters) {
+        self.instructions += other.instructions;
+        self.branches += other.branches;
+        self.divergence_events += other.divergence_events;
+        self.reconvergences += other.reconvergences;
+        self.mem_accesses += other.mem_accesses;
+        self.mem_transactions += other.mem_transactions;
+        self.coalesced_accesses += other.coalesced_accesses;
+        self.serialized_accesses += other.serialized_accesses;
+        self.bank_conflicts += other.bank_conflicts;
+    }
+
+    /// [`merge`](Self::merge) by value, for fold-style accumulation.
+    #[must_use]
+    #[inline]
+    pub fn merged(mut self, other: &SimCounters) -> SimCounters {
+        self.merge(other);
+        self
+    }
+
+    /// `true` when nothing has been counted (the monoid identity).
+    pub fn is_zero(&self) -> bool {
+        *self == SimCounters::default()
+    }
+}
+
+/// One named wall-clock span of a detector phase.
+///
+/// Spans measure *time*, so they are inherently non-deterministic; keep
+/// them out of any output that promises byte-identical reproducibility.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseSpan {
+    /// Phase name, e.g. `"trace_collection"`.
+    pub name: String,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub wall_nanos: u64,
+}
+
+impl PhaseSpan {
+    /// A span from a name and a measured duration.
+    pub fn new(name: impl Into<String>, wall: Duration) -> Self {
+        PhaseSpan {
+            name: name.into(),
+            wall_nanos: wall.as_nanos() as u64,
+        }
+    }
+
+    /// The span's duration.
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_nanos)
+    }
+
+    /// The span's duration in milliseconds (for human-facing tables).
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_nanos as f64 / 1e6
+    }
+}
+
+/// An append-only collection of [`PhaseSpan`]s, recorded in phase order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Spans(Vec<PhaseSpan>);
+
+impl Spans {
+    /// An empty span set.
+    pub fn new() -> Self {
+        Spans::default()
+    }
+
+    /// Records a finished phase.
+    pub fn record(&mut self, name: impl Into<String>, wall: Duration) {
+        self.0.push(PhaseSpan::new(name, wall));
+    }
+
+    /// Times `f` and records the span under `name`, returning `f`'s value.
+    pub fn time<T>(&mut self, name: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let value = f();
+        self.record(name, t0.elapsed());
+        value
+    }
+
+    /// The recorded spans, in recording order.
+    pub fn as_slice(&self) -> &[PhaseSpan] {
+        &self.0
+    }
+
+    /// The span with the given name, if recorded.
+    pub fn get(&self, name: &str) -> Option<&PhaseSpan> {
+        self.0.iter().find(|s| s.name == name)
+    }
+
+    /// Total wall time over all recorded spans.
+    pub fn total_wall(&self) -> Duration {
+        self.0.iter().map(PhaseSpan::wall).sum()
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Spans {
+    type Item = &'a PhaseSpan;
+    type IntoIter = std::slice::Iter<'a, PhaseSpan>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> SimCounters {
+        SimCounters {
+            instructions: seed * 7 + 1,
+            branches: seed * 3,
+            divergence_events: seed % 5,
+            reconvergences: seed % 5,
+            mem_accesses: seed * 2,
+            mem_transactions: seed * 11,
+            coalesced_accesses: seed,
+            serialized_accesses: seed / 2,
+            bank_conflicts: seed % 3,
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (sample(3), sample(10), sample(29));
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        assert_eq!(left, right);
+        assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn default_is_identity() {
+        let a = sample(17);
+        assert_eq!(a.merged(&SimCounters::default()), a);
+        assert_eq!(SimCounters::default().merged(&a), a);
+        assert!(SimCounters::default().is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn counters_serialize_roundtrip() {
+        let a = sample(9);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: SimCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert!(json.contains("\"divergence_events\""));
+    }
+
+    #[test]
+    fn spans_record_and_query() {
+        let mut spans = Spans::new();
+        spans.record("one", Duration::from_millis(2));
+        let v = spans.time("two", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans.get("one").unwrap().wall(), Duration::from_millis(2));
+        assert!(spans.get("missing").is_none());
+        assert!(spans.total_wall() >= Duration::from_millis(2));
+        let names: Vec<&str> = spans.into_iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["one", "two"]);
+    }
+
+    #[test]
+    fn span_units_agree() {
+        let s = PhaseSpan::new("x", Duration::from_micros(1500));
+        assert_eq!(s.wall_nanos, 1_500_000);
+        assert!((s.wall_ms() - 1.5).abs() < 1e-9);
+    }
+}

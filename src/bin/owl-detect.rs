@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED]
-//!            [--parallelism N] [--json]
+//!            [--parallelism N] [--format text|json] [--metrics-out PATH]
 //!
 //! workloads:
 //!   aes-ttable | aes-scan | rsa-sqm | rsa-ladder
@@ -13,9 +13,20 @@
 //!   search | search-fixed | mlp | coalescing | render
 //! ```
 //!
-//! Exit code 0 = no leak found, 1 = leaks found, 2 = usage/runtime error.
+//! `--format json` prints the schema-versioned [`DetectionSummary`] on
+//! stdout: a deterministic document, byte-identical for every
+//! `--parallelism` setting (`--json` is kept as an alias). Wall-clock
+//! metrics (phase spans, cost accounting) are non-deterministic and
+//! therefore never on stdout; `--metrics-out PATH` writes them to a
+//! separate JSON file.
+//!
+//! Exit codes encode the verdict: 0 = leak-free / no input dependence,
+//! 2 = leaks found, 1 = usage or runtime error.
 
-use owl::core::{detect, Detection, OwlConfig, TestMethod, TracedProgram, Verdict};
+use owl::core::{
+    detect, Detection, DetectionSummary, MetricsReport, OwlConfig, TestMethod, TracedProgram,
+    Verdict,
+};
 use owl::workloads::aes::{AesScan, AesTTable};
 use owl::workloads::coalescing::CoalescingStride;
 use owl::workloads::dummy::{DummySbox, NoiseDummy};
@@ -28,6 +39,13 @@ use owl::workloads::search::{BinarySearchEarlyExit, BinarySearchFixedDepth};
 use owl::workloads::torch::{Tensor, TorchFunction, TorchInput, TorchOpKind};
 use std::process::ExitCode;
 
+/// How the detection result is rendered on stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
 #[derive(Debug)]
 struct Options {
     workload: String,
@@ -36,7 +54,23 @@ struct Options {
     method: TestMethod,
     aslr_seed: Option<u64>,
     parallelism: Option<usize>,
-    json: bool,
+    format: OutputFormat,
+    metrics_out: Option<String>,
+}
+
+impl Options {
+    /// The detection config these options describe.
+    fn config(&self) -> OwlConfig {
+        let defaults = OwlConfig::default();
+        OwlConfig {
+            runs: self.runs,
+            alpha: self.alpha,
+            method: self.method,
+            aslr_seed: self.aslr_seed,
+            parallelism: self.parallelism.unwrap_or(defaults.parallelism),
+            ..defaults
+        }
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,7 +83,8 @@ fn parse_args() -> Result<Options, String> {
         method: TestMethod::Ks,
         aslr_seed: None,
         parallelism: None,
-        json: false,
+        format: OutputFormat::Text,
+        metrics_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,7 +116,18 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--parallelism needs a worker count >= 1")?,
                 );
             }
-            "--json" => opts.json = true,
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => OutputFormat::Text,
+                    Some("json") => OutputFormat::Json,
+                    _ => return Err("--format needs 'text' or 'json'".into()),
+                };
+            }
+            // Back-compat alias for --format json.
+            "--json" => opts.format = OutputFormat::Json,
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -97,48 +143,58 @@ where
     P: TracedProgram + Sync,
     P::Input: Send + Sync,
 {
-    let defaults = OwlConfig::default();
-    detect(
-        program,
-        inputs,
-        &OwlConfig {
-            runs: opts.runs,
-            alpha: opts.alpha,
-            method: opts.method,
-            aslr_seed: opts.aslr_seed,
-            parallelism: opts.parallelism.unwrap_or(defaults.parallelism),
-            ..defaults
-        },
-    )
-    .map_err(|e| e.to_string())
+    detect(program, inputs, &opts.config()).map_err(|e| e.to_string())
 }
 
-fn report<I>(name: &str, detection: &Detection<I>, opts: &Options) -> ExitCode {
-    if opts.json {
-        let payload = serde_json::json!({
-            "workload": name,
-            "verdict": format!("{:?}", detection.verdict),
-            "classes": detection.filter.classes.len(),
-            "report": detection.report,
-            "total_ms": detection.stats.total_time.as_secs_f64() * 1e3,
-        });
-        println!("{}", serde_json::to_string_pretty(&payload).expect("json"));
-    } else {
-        println!("workload: {name}");
-        println!("verdict: {:?}", detection.verdict);
-        println!(
-            "classes: {} | traces for evidence: {} | total {:?}",
-            detection.filter.classes.len(),
-            detection.stats.evidence_traces,
-            detection.stats.total_time
-        );
-        print!("{}", detection.report);
+/// The exit code encoding a verdict: 0 = clean, 2 = leaky (1 is reserved
+/// for usage/runtime errors).
+fn verdict_exit_code(verdict: Verdict) -> ExitCode {
+    match verdict {
+        Verdict::LeakFree | Verdict::NoInputDependence => ExitCode::SUCCESS,
+        Verdict::Leaky => ExitCode::from(2),
     }
-    if detection.verdict == Verdict::Leaky {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
+}
+
+fn report<I>(name: &str, detection: &Detection<I>, opts: &Options) -> Result<ExitCode, String> {
+    let config = opts.config();
+    match opts.format {
+        OutputFormat::Json => {
+            let summary = DetectionSummary::new(name, detection, &config);
+            let json = serde_json::to_string_pretty(&summary)
+                .map_err(|e| format!("serializing summary: {e}"))?;
+            println!("{json}");
+        }
+        OutputFormat::Text => {
+            println!("workload: {name}");
+            println!("verdict: {:?}", detection.verdict);
+            println!(
+                "classes: {} | traces for evidence: {} | total {:?}",
+                detection.filter.classes.len(),
+                detection.stats.evidence_traces,
+                detection.stats.total_time
+            );
+            let c = &detection.counters;
+            println!(
+                "executed: {} instructions, {} branches ({} divergence, {} reconvergence), \
+                 {} mem accesses ({} transactions, {} bank-conflict cycles)",
+                c.instructions,
+                c.branches,
+                c.divergence_events,
+                c.reconvergences,
+                c.mem_accesses,
+                c.mem_transactions,
+                c.bank_conflicts
+            );
+            print!("{}", detection.report);
+        }
     }
+    if let Some(path) = &opts.metrics_out {
+        let metrics = MetricsReport::new(name, detection, &config);
+        let json = serde_json::to_string_pretty(&metrics)
+            .map_err(|e| format!("serializing metrics: {e}"))?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(verdict_exit_code(detection.verdict))
 }
 
 fn torch_kind(name: &str) -> Option<TorchOpKind> {
@@ -168,79 +224,71 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     match name.as_str() {
         "aes-ttable" => {
             let w = AesTTable::new(32);
-            Ok(report(&name, &run_detection(&w, &aes_keys, opts)?, opts))
+            report(&name, &run_detection(&w, &aes_keys, opts)?, opts)
         }
         "aes-scan" => {
             let w = AesScan::with_rounds(32, 2);
-            Ok(report(&name, &run_detection(&w, &aes_keys, opts)?, opts))
+            report(&name, &run_detection(&w, &aes_keys, opts)?, opts)
         }
         "rsa-sqm" => {
             let w = RsaSquareMultiply::new(32);
-            Ok(report(&name, &run_detection(&w, &rsa_exps, opts)?, opts))
+            report(&name, &run_detection(&w, &rsa_exps, opts)?, opts)
         }
         "rsa-ladder" => {
             let w = RsaLadder::new(32);
-            Ok(report(&name, &run_detection(&w, &rsa_exps, opts)?, opts))
+            report(&name, &run_detection(&w, &rsa_exps, opts)?, opts)
         }
         "jpeg-encode" => {
             let w = JpegEncode::new(16, 16);
             let inputs: Vec<Vec<u8>> = (0..4).map(|s| synthetic_image(s, 16, 16)).collect();
-            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+            report(&name, &run_detection(&w, &inputs, opts)?, opts)
         }
         "jpeg-decode" => {
             let w = JpegDecode::new(16, 16);
             let inputs: Vec<Vec<i32>> = (0..4).map(|s| w.random_input(s)).collect();
-            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+            report(&name, &run_detection(&w, &inputs, opts)?, opts)
         }
         "jpeg-encode-fixed" => {
             let w = JpegEncodeFixedLength::new(16, 16);
             let inputs: Vec<Vec<u8>> = (0..4).map(|s| synthetic_image(s, 16, 16)).collect();
-            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+            report(&name, &run_detection(&w, &inputs, opts)?, opts)
         }
         "noise" => {
             let w = NoiseDummy::new();
-            Ok(report(&name, &run_detection(&w, &[1, 2, 3], opts)?, opts))
+            report(&name, &run_detection(&w, &[1, 2, 3], opts)?, opts)
         }
         "histogram" => {
             let w = HistogramDirect::new(64);
             let inputs: Vec<Vec<u8>> = (0..4).map(|s| w.random_input(s)).collect();
-            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+            report(&name, &run_detection(&w, &inputs, opts)?, opts)
         }
         "histogram-oblivious" => {
             let w = HistogramOblivious::new(64);
             let inputs: Vec<Vec<u8>> = (0..4).map(|s| w.random_input(s)).collect();
-            Ok(report(&name, &run_detection(&w, &inputs, opts)?, opts))
+            report(&name, &run_detection(&w, &inputs, opts)?, opts)
         }
         "search" => {
             let w = BinarySearchEarlyExit::new(32);
             let keys: Vec<u64> = (0..5).map(|s| w.random_input(s)).collect();
-            Ok(report(&name, &run_detection(&w, &keys, opts)?, opts))
+            report(&name, &run_detection(&w, &keys, opts)?, opts)
         }
         "search-fixed" => {
             let w = BinarySearchFixedDepth::new(32);
             let keys: Vec<u64> = (0..5).map(|s| w.random_input(s)).collect();
-            Ok(report(&name, &run_detection(&w, &keys, opts)?, opts))
+            report(&name, &run_detection(&w, &keys, opts)?, opts)
         }
         "mlp" => {
             let w = MlpHiddenWidth::new();
-            Ok(report(
-                &name,
-                &run_detection(&w, &WIDTHS.map(|x| x), opts)?,
-                opts,
-            ))
+            report(&name, &run_detection(&w, &WIDTHS.map(|x| x), opts)?, opts)
         }
         "render" => {
             let w = GlyphRender::new();
             let texts: Vec<Vec<u8>> = (0..4).map(|s| w.random_input(s)).collect();
-            Ok(report(&name, &run_detection(&w, &texts, opts)?, opts))
+            report(&name, &run_detection(&w, &texts, opts)?, opts)
         }
         "coalescing" => {
             let w = CoalescingStride::new();
-            Ok(report(
-                &name,
-                &run_detection(&w, &[1, 33, 65, 97], opts)?,
-                opts,
-            ))
+            report(&name, &run_detection(&w, &[1, 33, 65, 97], opts)?, opts)
         }
         other => {
             if let Some(rest) = other.strip_prefix("dummy") {
@@ -250,11 +298,7 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
                     .transpose()?
                     .unwrap_or(64);
                 let w = DummySbox::new(elems);
-                return Ok(report(
-                    other,
-                    &run_detection(&w, &[1, 2, 3, 4], opts)?,
-                    opts,
-                ));
+                return report(other, &run_detection(&w, &[1, 2, 3, 4], opts)?, opts);
             }
             if let Some(op) = other.strip_prefix("torch:").and_then(torch_kind) {
                 let w = TorchFunction::new(op);
@@ -265,7 +309,7 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
                         owl::workloads::torch::function::VEC_N,
                     ])));
                 }
-                return Ok(report(other, &run_detection(&w, &inputs, opts)?, opts));
+                return report(other, &run_detection(&w, &inputs, opts)?, opts);
             }
             Err(format!("unknown workload {other}"))
         }
@@ -278,16 +322,17 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] [--parallelism N] [--json]"
+                "usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] \
+                 [--parallelism N] [--format text|json] [--metrics-out PATH]"
             );
-            return ExitCode::from(2);
+            return ExitCode::from(1);
         }
     };
     match dispatch(&opts) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(1)
         }
     }
 }

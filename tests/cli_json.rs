@@ -1,0 +1,113 @@
+//! End-to-end contract of the `owl-detect` CLI: `--format json` emits a
+//! schema-versioned [`DetectionSummary`] that parses, the exit code encodes
+//! the verdict (0 = clean, 2 = leaky, 1 = error), stdout is byte-identical
+//! across `--parallelism` settings, and `--metrics-out` captures the
+//! wall-clock side in a separate file.
+
+use std::process::{Command, Output};
+
+fn owl_detect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_owl-detect"))
+        .args(args)
+        .output()
+        .expect("spawn owl-detect")
+}
+
+/// Looks up `key` in a JSON object value (the vendored `Value` has no
+/// `Index` impl).
+fn get<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+    v.as_map()
+        .expect("expected a JSON object")
+        .iter()
+        .find(|(k, _)| k.as_str() == Some(key))
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing key {key:?}"))
+}
+
+#[test]
+fn leaky_workload_emits_schema_versioned_json_and_exits_two() {
+    let out = owl_detect(&["dummy", "--runs", "8", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(2), "leaky verdict must exit 2");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(
+        *get(&value, "schema_version"),
+        serde_json::Value::Int(i128::from(owl::core::SCHEMA_VERSION))
+    );
+    assert_eq!(get(&value, "verdict").as_str(), Some("leaky"));
+    assert_eq!(get(&value, "workload").as_str(), Some("dummy"));
+    let instructions = get(get(&value, "counters"), "instructions");
+    assert!(
+        matches!(instructions, serde_json::Value::Int(n) if *n > 0),
+        "counters must record execution, got {instructions:?}"
+    );
+}
+
+#[test]
+fn clean_workload_exits_zero() {
+    let out = owl_detect(&["rsa-ladder", "--runs", "6", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "clean verdict must exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    let verdict = get(&value, "verdict").as_str().expect("verdict string");
+    assert!(
+        verdict == "leak_free" || verdict == "no_input_dependence",
+        "unexpected verdict {verdict:?}"
+    );
+}
+
+#[test]
+fn unknown_workload_exits_one() {
+    let out = owl_detect(&["no-such-workload"]);
+    assert_eq!(out.status.code(), Some(1), "errors must exit 1");
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(stderr.contains("unknown workload"), "stderr: {stderr}");
+}
+
+#[test]
+fn json_stdout_is_byte_identical_across_parallelism() {
+    let base = ["dummy", "--runs", "8", "--format", "json", "--parallelism"];
+    let serial = owl_detect(&[&base[..], &["1"]].concat());
+    let parallel = owl_detect(&[&base[..], &["2"]].concat());
+    assert_eq!(serial.status.code(), parallel.status.code());
+    assert_eq!(
+        String::from_utf8(serial.stdout).expect("utf8"),
+        String::from_utf8(parallel.stdout).expect("utf8"),
+        "the summary on stdout must not depend on the worker count"
+    );
+}
+
+#[test]
+fn metrics_out_writes_wall_clock_report() {
+    let dir = std::env::temp_dir().join("owl-cli-json-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.json");
+    let path_str = path.to_str().expect("utf8 path");
+    let out = owl_detect(&[
+        "dummy",
+        "--runs",
+        "8",
+        "--format",
+        "json",
+        "--metrics-out",
+        path_str,
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("metrics file parses");
+    assert_eq!(
+        *get(&value, "schema_version"),
+        serde_json::Value::Int(i128::from(owl::core::SCHEMA_VERSION))
+    );
+    assert!(
+        matches!(get(&value, "parallelism"), serde_json::Value::Int(n) if *n >= 1),
+        "metrics echo the worker count"
+    );
+    let spans = get(&value, "spans").as_seq().expect("spans array");
+    assert!(!spans.is_empty(), "phase spans must be recorded");
+    let stats = get(&value, "phase_stats");
+    assert!(
+        matches!(get(stats, "total_ms"), serde_json::Value::Float(ms) if *ms >= 0.0),
+        "wall-clock totals live in the metrics file"
+    );
+}

@@ -2,9 +2,21 @@
 //! produce bit-identical results for every `parallelism` setting, with and
 //! without simulated ASLR, on leaky and clean workloads alike.
 
-use owl::core::{detect, Detection, OwlConfig, TracedProgram, Verdict};
+use owl::core::{detect, Detection, DetectionSummary, OwlConfig, TracedProgram, Verdict};
 use owl::workloads::aes::AesTTable;
 use owl::workloads::rsa::RsaLadder;
+
+fn config(parallelism: usize, aslr_seed: Option<u64>) -> OwlConfig {
+    OwlConfig {
+        runs: 20,
+        parallelism,
+        aslr_seed,
+        // Exercise phase 3 even when filtering finds one class (the
+        // clean workload would otherwise return before the fan-out).
+        force_analysis: true,
+        ..OwlConfig::default()
+    }
+}
 
 fn run<P>(
     program: &P,
@@ -16,20 +28,7 @@ where
     P: TracedProgram + Sync,
     P::Input: Send + Sync,
 {
-    detect(
-        program,
-        inputs,
-        &OwlConfig {
-            runs: 20,
-            parallelism,
-            aslr_seed,
-            // Exercise phase 3 even when filtering finds one class (the
-            // clean workload would otherwise return before the fan-out).
-            force_analysis: true,
-            ..OwlConfig::default()
-        },
-    )
-    .expect("detection")
+    detect(program, inputs, &config(parallelism, aslr_seed)).expect("detection")
 }
 
 fn assert_bit_identical<P>(program: &P, inputs: &[P::Input], aslr_seed: Option<u64>)
@@ -38,7 +37,8 @@ where
     P::Input: Send + Sync,
 {
     let serial = run(program, inputs, 1, aslr_seed);
-    for parallelism in [2, 4] {
+    let serial_summary = DetectionSummary::new("workload", &serial, &config(1, aslr_seed));
+    for parallelism in [2, 4, 8] {
         let parallel = run(program, inputs, parallelism, aslr_seed);
         assert_eq!(
             serial.verdict, parallel.verdict,
@@ -59,6 +59,21 @@ where
             serial.filter.classes.len(),
             parallel.filter.classes.len(),
             "input classes changed at parallelism {parallelism} (aslr {aslr_seed:?})"
+        );
+        // Counter totals merge associatively, so the fan-out must not
+        // change them — no matter how runs are chunked across workers.
+        assert_eq!(
+            serial.counters, parallel.counters,
+            "counter totals changed at parallelism {parallelism} (aslr {aslr_seed:?})"
+        );
+        // The machine-readable summary (counters included) is the public
+        // face of the contract: byte-identical across worker counts.
+        let parallel_summary =
+            DetectionSummary::new("workload", &parallel, &config(parallelism, aslr_seed));
+        assert_eq!(
+            serde_json::to_string_pretty(&serial_summary).expect("json"),
+            serde_json::to_string_pretty(&parallel_summary).expect("json"),
+            "detection summary changed at parallelism {parallelism} (aslr {aslr_seed:?})"
         );
     }
 }
@@ -89,4 +104,8 @@ fn leaky_workload_verdict_survives_parallelism() {
     assert_eq!(detection.verdict, Verdict::Leaky);
     assert!(detection.stats.evidence_workers >= 1);
     assert!(detection.stats.evidence_cpu_time >= detection.stats.evidence_time / 2);
+    assert!(
+        detection.counters.instructions > 0,
+        "the parallel pipeline must still accumulate execution counters"
+    );
 }
