@@ -450,11 +450,11 @@ mod tests {
             }
         }
         ProgramTrace {
-            invocations: vec![KernelInvocation {
-                key: key(1, "k"),
-                config: ((1, 1, 1), (32, 1, 1)),
-                adcfg: b.finish(),
-            }],
+            invocations: vec![KernelInvocation::new(
+                key(1, "k"),
+                ((1, 1, 1), (32, 1, 1)),
+                b.finish(),
+            )],
             mallocs: vec![],
         }
     }
@@ -527,11 +527,11 @@ mod tests {
             if r % 2 == 0 {
                 let mut b = AdcfgBuilder::new();
                 b.enter_block(0, 0);
-                t.invocations.push(KernelInvocation {
-                    key: key(9, "extra"),
-                    config: ((1, 1, 1), (32, 1, 1)),
-                    adcfg: b.finish(),
-                });
+                t.invocations.push(KernelInvocation::new(
+                    key(9, "extra"),
+                    ((1, 1, 1), (32, 1, 1)),
+                    b.finish(),
+                ));
             }
             t
         });
@@ -591,11 +591,11 @@ mod tests {
             for _ in 0..3 {
                 let mut b = AdcfgBuilder::new();
                 b.enter_block(0, 0);
-                t.invocations.push(KernelInvocation {
-                    key: key(5, "looped"),
-                    config: ((1, 1, 1), (32, 1, 1)),
-                    adcfg: b.finish(),
-                });
+                t.invocations.push(KernelInvocation::new(
+                    key(5, "looped"),
+                    ((1, 1, 1), (32, 1, 1)),
+                    b.finish(),
+                ));
             }
             t
         });
@@ -617,11 +617,11 @@ mod tests {
             b.record_access(0, 0, [0x40]);
             b.record_access(0, 5, [0x80]);
             ProgramTrace {
-                invocations: vec![KernelInvocation {
-                    key: key(1, "k"),
-                    config: ((1, 1, 1), (32, 1, 1)),
-                    adcfg: b.finish(),
-                }],
+                invocations: vec![KernelInvocation::new(
+                    key(1, "k"),
+                    ((1, 1, 1), (32, 1, 1)),
+                    b.finish(),
+                )],
                 mallocs: vec![],
             }
         });

@@ -95,6 +95,32 @@ impl Evidence {
         self.merge(Evidence::from_trace(trace));
     }
 
+    /// Merges `n` bit-identical copies of one run at the cost of a single
+    /// merge: equivalent — exactly, not approximately — to calling
+    /// [`Self::merge_trace`] `n` times with clones of `trace`.
+    ///
+    /// Identical invocation sequences align position-by-position under
+    /// Myers, and every merged quantity (run counts, malloc counts,
+    /// presence counts, A-DCFG transition/edge/visit/bin counts) is a
+    /// `u64` sum, so merging a run `n` times equals multiplying its
+    /// single-run evidence by `n`. The evidence phase uses this when all
+    /// runs of a work item are provably identical (fixed input, ASLR off).
+    pub fn merge_trace_repeated(&mut self, trace: ProgramTrace, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut ev = Evidence::from_trace(trace);
+        ev.runs = n;
+        for count in ev.mallocs.values_mut() {
+            *count *= n;
+        }
+        for inv in &mut ev.invocations {
+            inv.present_runs = n;
+            inv.adcfg.scale(n);
+        }
+        self.merge(ev);
+    }
+
     /// Merges another evidence into this one: the associative reduction the
     /// parallel evidence phase relies on.
     ///
@@ -178,11 +204,7 @@ mod tests {
         for &bb in walk {
             b.enter_block(0, bb);
         }
-        KernelInvocation {
-            key: key(line, kernel),
-            config: ((1, 1, 1), (32, 1, 1)),
-            adcfg: b.finish(),
-        }
+        KernelInvocation::new(key(line, kernel), ((1, 1, 1), (32, 1, 1)), b.finish())
     }
 
     fn trace(invs: Vec<KernelInvocation>) -> ProgramTrace {

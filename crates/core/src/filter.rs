@@ -86,8 +86,8 @@ mod tests {
             b.enter_block(0, bb);
         }
         ProgramTrace {
-            invocations: vec![KernelInvocation {
-                key: InvocationKey {
+            invocations: vec![KernelInvocation::new(
+                InvocationKey {
                     call_site: CallSite {
                         file: "f.rs",
                         line: 1,
@@ -95,9 +95,9 @@ mod tests {
                     },
                     kernel: "k".into(),
                 },
-                config: ((1, 1, 1), (32, 1, 1)),
-                adcfg: b.finish(),
-            }],
+                ((1, 1, 1), (32, 1, 1)),
+                b.finish(),
+            )],
             mallocs: vec![],
         }
     }

@@ -333,6 +333,27 @@ where
         let mut partial = Evidence::default();
         let mut chunk_counters = SimCounters::default();
         let outcome = (|| -> Result<(), DetectError> {
+            // With ASLR off and a host audited pure (`deterministic_host`),
+            // a fixed-class run is a pure function of `(program, input)` —
+            // `run_index` only feeds the layout seed — so every run of this
+            // item produces a bit-identical trace and counters. Record once
+            // and replicate exactly instead of re-recording `n` identical
+            // runs. Impure hosts (e.g. a per-run nonce) must keep
+            // re-recording: their fixed-run noise has to reach the evidence
+            // so the differential test can dismiss it.
+            if let (Some(c), None, true) =
+                (item.class, config.aslr_seed, program.deterministic_host())
+            {
+                let n = (item.end - item.start) as u64;
+                let input = &filter.classes[c].representative;
+                let (trace, run_counters) =
+                    record_run_metered(program, input, &spec(item.stream, item.start))?;
+                for _ in 0..n {
+                    chunk_counters.merge(&run_counters);
+                }
+                partial.merge_trace_repeated(trace, n);
+                return Ok(());
+            }
             for run in item.start..item.end {
                 let random_input;
                 let input = match item.class {

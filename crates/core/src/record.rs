@@ -152,17 +152,17 @@ pub fn record_trace_on<P: TracedProgram>(
                     launches,
                     graphs: launches - 1,
                 })?;
-                invocations.push(KernelInvocation {
-                    key: InvocationKey {
+                invocations.push(KernelInvocation::new(
+                    InvocationKey {
                         call_site: *call_site,
                         kernel: kernel.clone(),
                     },
-                    config: (
+                    (
                         (config.grid.x, config.grid.y, config.grid.z),
                         (config.block.x, config.block.y, config.block.z),
                     ),
                     adcfg,
-                });
+                ));
             }
             HostEvent::Malloc {
                 call_site, size, ..

@@ -10,6 +10,7 @@ use owl_dcfg::Adcfg;
 use owl_host::CallSite;
 use serde::Serialize;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// Identity of a kernel invocation *site*: which kernel, launched from
 /// where in host code.
@@ -31,7 +32,19 @@ impl std::fmt::Display for InvocationKey {
 pub type ConfigTuple = ((u32, u32, u32), (u32, u32, u32));
 
 /// One kernel invocation with its reconstructed A-DCFG.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The invocation's digest is computed lazily on the first
+/// [`KernelInvocation::digest`] call and cached, so hashing a whole
+/// [`ProgramTrace`] combines per-invocation digests instead of re-walking
+/// every A-DCFG — the duplicate filter digests each trace exactly once
+/// per run instead of once per comparison — while runs that are never
+/// filtered (the evidence phase merges them directly) pay nothing.
+///
+/// **Caching rule:** the fields are public for reading, but mutating them
+/// in place after a `digest()` call leaves the cached digest stale. Build
+/// a new invocation with [`KernelInvocation::new`] instead; debug builds
+/// assert freshness on every [`KernelInvocation::digest`] call.
+#[derive(Debug, Clone, Eq)]
 pub struct KernelInvocation {
     /// The invocation site identity.
     pub key: InvocationKey,
@@ -39,6 +52,61 @@ pub struct KernelInvocation {
     pub config: ConfigTuple,
     /// The warp-aggregated trace of this invocation.
     pub adcfg: Adcfg,
+    /// FNV-1a digest over `(key, config, adcfg)`, filled on first use.
+    /// (`OnceLock` rather than `OnceCell`: traces cross the evidence
+    /// phase's worker-thread boundary.)
+    digest: OnceLock<u64>,
+}
+
+impl KernelInvocation {
+    /// Creates an invocation record; the digest is computed on first use.
+    pub fn new(key: InvocationKey, config: ConfigTuple, adcfg: Adcfg) -> Self {
+        KernelInvocation {
+            key,
+            config,
+            adcfg,
+            digest: OnceLock::new(),
+        }
+    }
+
+    /// The digest over `(key, config, adcfg)`, cached after the first call.
+    pub fn digest(&self) -> u64 {
+        let d = *self
+            .digest
+            .get_or_init(|| Self::compute_digest(&self.key, &self.config, &self.adcfg));
+        debug_assert_eq!(
+            d,
+            Self::compute_digest(&self.key, &self.config, &self.adcfg),
+            "stale invocation digest: fields were mutated after construction"
+        );
+        d
+    }
+
+    fn compute_digest(key: &InvocationKey, config: &ConfigTuple, adcfg: &Adcfg) -> u64 {
+        let mut h = Fnv1a::default();
+        key.hash(&mut h);
+        config.hash(&mut h);
+        adcfg.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl PartialEq for KernelInvocation {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest cache is derived state — whether it has been filled
+        // yet must not affect equality.
+        self.key == other.key && self.config == other.config && self.adcfg == other.adcfg
+    }
+}
+
+impl Hash for KernelInvocation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The cached digest already covers all three fields; feeding it
+        // instead of re-walking the A-DCFG makes trace-level hashing O(1)
+        // per invocation. Consistent with `Eq`: the digest is a pure
+        // function of the compared fields.
+        state.write_u64(self.digest());
+    }
 }
 
 /// A host allocation record: call site and size. Owl records allocations by
@@ -65,12 +133,8 @@ impl ProgramTrace {
     /// Estimated in-memory footprint in bytes — the quantity the paper
     /// plots in Fig. 5 (kernel traces plus constant-size host records).
     pub fn size_bytes(&self) -> usize {
-        let kernels: usize = self
-            .invocations
-            .iter()
-            .map(|inv| inv.adcfg.size_bytes() + inv.key.kernel.len() + 24)
-            .sum();
-        kernels + self.mallocs.len() * 24
+        let (kernels, mallocs) = self.size_breakdown();
+        kernels + mallocs
     }
 
     /// Breakdown of [`Self::size_bytes`] by component: `(kernel invocation
@@ -87,6 +151,9 @@ impl ProgramTrace {
     /// A deterministic digest of the trace, used by the duplicates-removing
     /// phase to group inputs into classes. Two traces compare equal exactly
     /// when the program showed identical observable behaviour.
+    ///
+    /// Combines the per-invocation digests cached at
+    /// [`KernelInvocation::new`] — O(#invocations), not O(trace size).
     pub fn digest(&self) -> u64 {
         let mut h = Fnv1a::default();
         self.hash(&mut h);
@@ -143,14 +210,14 @@ mod tests {
         for &bb in walk {
             b.enter_block(0, bb);
         }
-        KernelInvocation {
-            key: InvocationKey {
+        KernelInvocation::new(
+            InvocationKey {
                 call_site: site(line),
                 kernel: kernel.into(),
             },
-            config: ((1, 1, 1), (32, 1, 1)),
-            adcfg: b.finish(),
-        }
+            ((1, 1, 1), (32, 1, 1)),
+            b.finish(),
+        )
     }
 
     #[test]
@@ -169,6 +236,34 @@ mod tests {
         };
         assert_eq!(t1.digest(), t2.digest());
         assert_ne!(t1.digest(), t3.digest());
+    }
+
+    #[test]
+    fn cached_digest_equals_fresh_computation_after_merge() {
+        // `digest()` recomputes and asserts freshness in debug builds, so
+        // every equality below also proves cache == fresh recompute.
+        let a = invocation(1, "k", &[0, 1, 1]);
+        let cached = a.digest(); // fills the cache
+
+        // Merging a's graph elsewhere must not disturb a's cached digest.
+        let mut merged_graph = invocation(1, "k", &[0, 1, 1]).adcfg;
+        merged_graph.merge(&a.adcfg);
+        let merged = KernelInvocation::new(a.key.clone(), a.config, merged_graph.clone());
+        assert_eq!(a.digest(), cached);
+
+        // The merged invocation digests its own (new) state, and a second
+        // independently merged build reproduces it exactly.
+        assert_ne!(merged.digest(), cached, "merge changed the A-DCFG");
+        let mut again = invocation(1, "k", &[0, 1, 1]).adcfg;
+        again.merge(&invocation(1, "k", &[0, 1, 1]).adcfg);
+        assert_eq!(
+            KernelInvocation::new(a.key.clone(), a.config, again).digest(),
+            merged.digest()
+        );
+
+        // Clones carry the filled cache; it stays valid because clones
+        // share the cloned fields byte-for-byte.
+        assert_eq!(merged.clone().digest(), merged.digest());
     }
 
     #[test]

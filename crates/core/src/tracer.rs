@@ -7,7 +7,7 @@
 //! ASLR effects, §V-C).
 
 use owl_dcfg::{Adcfg, AdcfgBuilder};
-use owl_gpu::hook::{KernelHook, LaunchInfo, MemAccessEvent, WarpRef};
+use owl_gpu::hook::{KernelHook, LaunchInfo, MemAccessEvent, MemEventBatch, WarpRef};
 use owl_gpu::isa::MemSpace;
 use owl_gpu::program::BlockId;
 use owl_host::SharedAllocTable;
@@ -20,17 +20,35 @@ fn warp_key(w: WarpRef) -> u64 {
 /// Encodes a memory access into the scalar feature the address histograms
 /// store.
 ///
+/// Bit layout of a resolved global feature:
+///
+/// ```text
+///  63           62..40                    39..0
+/// ┌───┬──────────────────────────┬────────────────────┐
+/// │ 0 │ allocation id + 1 (23b)  │ byte offset (40b)  │
+/// └───┴──────────────────────────┴────────────────────┘
+/// ```
+///
 /// * Global accesses resolve to `(allocation, offset)`; the feature is
 ///   `(alloc + 1) << 40 | offset`, which is stable across layout changes.
+///   The `+ 1` keeps allocation 0's features disjoint from raw
+///   shared/local offsets.
 /// * Shared/local/constant addresses are already offsets; the feature is
 ///   the raw address.
 /// * An unresolvable global address (never produced by a correct run) is
-///   tagged with the top bit so it cannot alias a normalised feature.
+///   tagged with the top bit so it cannot alias a normalised feature. An
+///   in-bounds offset of 2^40 bytes (1 TiB) or more does not fit the
+///   40-bit offset field; rather than silently truncating — which would
+///   alias the feature into a *different* allocation's range and corrupt
+///   the differential analysis — it saturates to the same tagged form.
 pub fn encode_address(space: MemSpace, addr: u64, table: &owl_host::AllocTable) -> u64 {
     match space {
         MemSpace::Global => match table.resolve(addr) {
-            Some((alloc, offset)) => ((u64::from(alloc.0) + 1) << 40) | (offset & 0xff_ffff_ffff),
-            None => addr | (1 << 63),
+            Some((alloc, offset)) if offset < (1 << 40) => {
+                ((u64::from(alloc.0) + 1) << 40) | offset
+            }
+            // Unresolvable, or offset too large for the encoding.
+            _ => addr | (1 << 63),
         },
         // Shared/local/constant addresses and texel indices are already
         // layout-independent offsets.
@@ -105,6 +123,25 @@ impl KernelHook for OwlTracer {
         // conflicts) — computed from the *raw* addresses, since the
         // hardware sees the physical layout.
         builder.record_cost(warp_key(warp), event.inst_idx, event.cost_feature());
+    }
+
+    fn mem_batch(&mut self, warp: WarpRef, batch: &MemEventBatch) {
+        // Bulk path: every event in a batch belongs to the same warp and
+        // basic-block visit, so one alloc-table borrow and one
+        // block-recorder resolution cover the whole batch; the costs
+        // arrive pre-computed in the descriptors.
+        let table = self.alloc_table.borrow();
+        let builder = self.current.as_mut().expect("mem_batch outside a kernel");
+        let mut rec = builder.block_recorder(warp_key(warp));
+        for (desc, lanes) in batch.events() {
+            rec.access(
+                desc.inst_idx,
+                lanes
+                    .iter()
+                    .map(|&(_, addr)| encode_address(desc.space, addr, &table)),
+            );
+            rec.cost(desc.inst_idx, desc.cost);
+        }
     }
 }
 

@@ -33,11 +33,11 @@ fn build_trace(desc: &[(u8, Vec<u8>, u64)]) -> ProgramTrace {
                     b.record_access(0, 0, [*addr]);
                 }
             }
-            KernelInvocation {
-                key: key(u32::from(*kernel), *kernel),
-                config: ((1, 1, 1), (32, 1, 1)),
-                adcfg: b.finish(),
-            }
+            KernelInvocation::new(
+                key(u32::from(*kernel), *kernel),
+                ((1, 1, 1), (32, 1, 1)),
+                b.finish(),
+            )
         })
         .collect();
     ProgramTrace {

@@ -59,6 +59,19 @@ impl Node {
         }
     }
 
+    /// Multiplies every count (transitions, visits, histogram bins) by
+    /// `k` — bit-identical to merging this node `k` times into an empty
+    /// one.
+    pub fn scale(&mut self, k: u64) {
+        self.transitions.scale(k);
+        self.visits *= k;
+        for per_visit in self.mem.values_mut().chain(self.cost.values_mut()) {
+            for h in per_visit {
+                h.scale(k);
+            }
+        }
+    }
+
     /// Estimated in-memory footprint in bytes (Fig. 5 accounting).
     pub fn size_bytes(&self) -> usize {
         let per_inst = |m: &BTreeMap<u32, Vec<Histogram>>| -> usize {
@@ -156,6 +169,27 @@ impl Adcfg {
         }
     }
 
+    /// Multiplies every node and edge count by `k` — bit-identical to
+    /// merging this graph `k` times into an empty one (all counts are
+    /// `u64`, so `k` merges and one multiply agree exactly). The evidence
+    /// phase uses this to fold `k` bit-identical runs at the cost of one.
+    pub fn scale(&mut self, k: u64) {
+        if k == 1 {
+            return;
+        }
+        for node in self.nodes.values_mut() {
+            node.scale(k);
+        }
+        if k == 0 {
+            self.nodes.clear();
+            self.edges.clear();
+            return;
+        }
+        for count in self.edges.values_mut() {
+            *count *= k;
+        }
+    }
+
     /// Estimated in-memory footprint in bytes — the quantity plotted in the
     /// paper's Fig. 5.
     pub fn size_bytes(&self) -> usize {
@@ -249,21 +283,7 @@ impl AdcfgBuilder {
         inst_idx: u32,
         addr_features: impl IntoIterator<Item = u64>,
     ) {
-        let ctx = self
-            .warps
-            .get(&warp)
-            .expect("memory access before any block entry");
-        let bb = ctx.current.expect("memory access before any block entry");
-        let j = ctx.visit_counts[&bb] - 1;
-        let node = self.graph.nodes.entry(bb).or_default();
-        let per_visit = node.mem.entry(inst_idx).or_default();
-        if per_visit.len() <= j as usize {
-            per_visit.resize(j as usize + 1, Histogram::new());
-        }
-        let hist = &mut per_visit[j as usize];
-        for a in addr_features {
-            hist.record(a, 1);
-        }
+        self.block_recorder(warp).access(inst_idx, addr_features);
     }
 
     /// Records the microarchitectural cost (transactions / conflicts) of a
@@ -274,22 +294,39 @@ impl AdcfgBuilder {
     ///
     /// Panics if the warp has not entered any block yet.
     pub fn record_cost(&mut self, warp: u64, inst_idx: u32, cost: u32) {
+        self.block_recorder(warp).cost(inst_idx, cost);
+    }
+
+    /// A handle for recording all memory events of `warp`'s current
+    /// basic-block visit: the warp context, node, and visit ordinal are
+    /// resolved once and reused for every event — the batched tracer emits
+    /// a whole block's events through one handle instead of repeating the
+    /// map lookups per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp has not entered any block yet — the interpreter
+    /// always reports a block entry first.
+    pub fn block_recorder(&mut self, warp: u64) -> BlockRecorder<'_> {
         let ctx = self
             .warps
             .get(&warp)
-            .expect("cost record before any block entry");
-        let bb = ctx.current.expect("cost record before any block entry");
-        let j = ctx.visit_counts[&bb] - 1;
+            .expect("memory access before any block entry");
+        let bb = ctx.current.expect("memory access before any block entry");
+        let j = (ctx.visit_counts[&bb] - 1) as usize;
         let node = self.graph.nodes.entry(bb).or_default();
-        let per_visit = node.cost.entry(inst_idx).or_default();
-        if per_visit.len() <= j as usize {
-            per_visit.resize(j as usize + 1, Histogram::new());
-        }
-        per_visit[j as usize].record(u64::from(cost), 1);
+        BlockRecorder { node, j }
     }
 
     /// Finalises all warps (their last visits exit to the boundary) and
     /// returns the assembled graph.
+    ///
+    /// Histograms and transition matrices buffer recent `record` calls in
+    /// an unsorted fast path; `finish` normalises every attribute so the
+    /// returned graph is fully sorted — downstream reads (iteration,
+    /// serde, hashing) never pay a lazy sort, and the invocation digest
+    /// cached over this graph stays valid as long as the graph is only
+    /// changed through [`Adcfg::merge`] (which also normalises).
     pub fn finish(mut self) -> Adcfg {
         let warps = std::mem::take(&mut self.warps);
         for ctx in warps.values() {
@@ -304,7 +341,49 @@ impl AdcfgBuilder {
                 *self.graph.edges.entry((cur, BOUNDARY)).or_insert(0) += 1;
             }
         }
+        for node in self.graph.nodes.values_mut() {
+            node.transitions.normalize();
+            for per_visit in node.mem.values_mut().chain(node.cost.values_mut()) {
+                for h in per_visit {
+                    h.normalize();
+                }
+            }
+        }
         self.graph
+    }
+}
+
+/// Per-block-visit recording handle returned by
+/// [`AdcfgBuilder::block_recorder`]; `access`/`cost` are the per-event
+/// bodies of [`AdcfgBuilder::record_access`]/[`AdcfgBuilder::record_cost`]
+/// with the block resolution hoisted out.
+#[derive(Debug)]
+pub struct BlockRecorder<'a> {
+    node: &'a mut Node,
+    j: usize,
+}
+
+impl BlockRecorder<'_> {
+    /// Records one memory access at `inst_idx` with per-lane (already
+    /// normalised) address values.
+    pub fn access(&mut self, inst_idx: u32, addr_features: impl IntoIterator<Item = u64>) {
+        let per_visit = self.node.mem.entry(inst_idx).or_default();
+        if per_visit.len() <= self.j {
+            per_visit.resize(self.j + 1, Histogram::new());
+        }
+        let hist = &mut per_visit[self.j];
+        for a in addr_features {
+            hist.record(a, 1);
+        }
+    }
+
+    /// Records the microarchitectural cost of the access at `inst_idx`.
+    pub fn cost(&mut self, inst_idx: u32, cost: u32) {
+        let per_visit = self.node.cost.entry(inst_idx).or_default();
+        if per_visit.len() <= self.j {
+            per_visit.resize(self.j + 1, Histogram::new());
+        }
+        per_visit[self.j].record(u64::from(cost), 1);
     }
 }
 

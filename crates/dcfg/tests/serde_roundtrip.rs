@@ -42,3 +42,27 @@ fn empty_graph_roundtrips() {
     let back: Adcfg = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(g, back);
 }
+
+/// Pins the on-disk bytes of a serialized A-DCFG. The internal storage of
+/// [`owl_stats::Histogram`] / [`owl_stats::TransitionMatrix`] may change
+/// (e.g. the hybrid append fast path), but the serde format is a public
+/// contract: traces written by one build must load in the next.
+#[test]
+fn adcfg_serde_bytes_are_stable() {
+    let expected = concat!(
+        r#"{"nodes":{"0":{"transitions":{"counts":[[[4294967295,1],3]]},"#,
+        r#""mem":{"0":[{"bins":{"0":1,"64":1,"128":1}}]},"cost":{"0":[{"bins":{"1":3}}]},"visits":3},"#,
+        r#""1":{"transitions":{"counts":[[[0,2],3],[[2,3],3]]},"#,
+        r#""mem":{"0":[{"bins":{"8":1,"72":1,"136":1}},{"bins":{"24":1,"88":1,"152":1}}]},"#,
+        r#""cost":{"0":[{"bins":{"2":3}},{"bins":{"1":3}}]},"visits":6},"#,
+        r#""2":{"transitions":{"counts":[[[1,1],3]]},"mem":{"0":[{"bins":{"16":1,"80":1,"144":1}}]},"#,
+        r#""cost":{"0":[{"bins":{"3":3}}]},"visits":3},"#,
+        r#""3":{"transitions":{"counts":[[[1,4294967295],3]]},"mem":{"0":[{"bins":{"32":1,"96":1,"160":1}}]},"#,
+        r#""cost":{"0":[{"bins":{"2":3}}]},"visits":3}},"#,
+        r#""edges":[[[0,1],3],[[1,2],3],[[1,3],3],[[2,1],3],[[3,4294967295],3],[[4294967295,0],3]]}"#,
+    );
+    assert_eq!(
+        serde_json::to_string(&sample_graph()).expect("serialize"),
+        expected
+    );
+}

@@ -10,7 +10,8 @@
 
 use crate::error::ExecError;
 use crate::grid::LaunchConfig;
-use crate::hook::{KernelHook, LaunchInfo};
+use crate::hook::{KernelHook, LaunchInfo, MemEventBatch};
+use crate::lowered::LoweredProgram;
 use crate::mem::{DeviceMemory, LinearMemory};
 use crate::program::KernelProgram;
 use crate::warp::{ExecEnv, WarpExec, WarpStatus};
@@ -141,9 +142,14 @@ pub fn launch_with_options(
     };
     hook.kernel_begin(&info);
 
+    // Pre-decode the kernel once; every warp interprets the lowered form.
+    let lowered = LoweredProgram::lower(program);
     let mut fuel = options.fuel;
     let mut counters = SimCounters::default();
     let mut stats = LaunchStats::default();
+    // One warp runs at a time, so a single reusable event batch serves the
+    // whole launch; `WarpExec::run` flushes it before returning.
+    let mut batch = MemEventBatch::new();
 
     let n_ctas = config.grid.total();
     let warps_per_block = config.warps_per_block_for(options.warp_size);
@@ -154,6 +160,7 @@ pub fn launch_with_options(
             .map(|w| {
                 WarpExec::new(
                     program,
+                    &lowered,
                     config.grid,
                     config.block,
                     cta as u32,
@@ -184,6 +191,7 @@ pub fn launch_with_options(
                     fuel: &mut fuel,
                     args,
                     counters: &mut counters,
+                    batch: &mut batch,
                 };
                 match warp.run(&mut env)? {
                     WarpStatus::AtBarrier => at_barrier += 1,

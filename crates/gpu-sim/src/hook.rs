@@ -58,75 +58,202 @@ pub const COALESCE_SEGMENT: u64 = 32;
 /// Number of shared-memory banks.
 pub const SHARED_BANKS: u64 = 32;
 
+/// Number of memory transactions a warp access with the given lane
+/// addresses costs under the hardware coalescing model: the count of
+/// distinct [`COALESCE_SEGMENT`]-byte segments touched. The classic
+/// coalescing side channel (Jiang et al., HPCA'16) observes exactly this
+/// quantity through timing. `scratch` is reused across calls to keep the
+/// hot path allocation-free.
+pub fn coalesced_transactions(lane_addrs: &[(u8, u64)], scratch: &mut Vec<u64>) -> u32 {
+    scratch.clear();
+    scratch.extend(lane_addrs.iter().map(|&(_, a)| a / COALESCE_SEGMENT));
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.len() as u32
+}
+
+/// Shared-memory bank-conflict degree: the maximum number of lanes
+/// hitting the same 4-byte-interleaved bank (1 = conflict-free). The
+/// access serialises into this many cycles on real hardware — another
+/// timing observable (Jiang et al., TACO'19). `scratch` is reused across
+/// calls.
+pub fn bank_conflict_degree(lane_addrs: &[(u8, u64)], scratch: &mut Vec<u64>) -> u32 {
+    let mut counts = [0u32; SHARED_BANKS as usize];
+    scratch.clear();
+    scratch.extend(lane_addrs.iter().map(|&(_, a)| a / 4));
+    scratch.sort_unstable();
+    scratch.dedup();
+    // Broadcasts (all lanes on one word) are conflict-free; count
+    // distinct words per bank.
+    for &w in scratch.iter() {
+        counts[(w % SHARED_BANKS) as usize] += 1;
+    }
+    counts.iter().copied().max().unwrap_or(0).max(1)
+}
+
+/// The microarchitectural cost feature of one warp access: transactions
+/// for global memory, bank-conflict degree for shared memory, and 1 for
+/// the uniform-latency spaces.
+pub fn cost_feature(space: MemSpace, lane_addrs: &[(u8, u64)], scratch: &mut Vec<u64>) -> u32 {
+    match space {
+        MemSpace::Global => coalesced_transactions(lane_addrs, scratch),
+        MemSpace::Shared => bank_conflict_degree(lane_addrs, scratch),
+        MemSpace::Local | MemSpace::Constant | MemSpace::Texture => 1,
+    }
+}
+
+/// Folds one access into the launch's execution counters given its
+/// pre-computed [`cost_feature`]: every event bumps `mem_accesses`;
+/// global accesses add their transaction count and are classified as
+/// coalesced (one transaction) or serialized; shared accesses add their
+/// *excess* bank cycles (degree − 1).
+pub fn apply_event_counters(space: MemSpace, cost: u32, c: &mut owl_metrics::SimCounters) {
+    c.mem_accesses += 1;
+    match space {
+        MemSpace::Global => {
+            c.mem_transactions += u64::from(cost);
+            if cost <= 1 {
+                c.coalesced_accesses += 1;
+            } else {
+                c.serialized_accesses += 1;
+            }
+        }
+        MemSpace::Shared => {
+            // The degree is at least 1 for a non-empty access.
+            c.bank_conflicts += u64::from(cost) - 1;
+        }
+        MemSpace::Local | MemSpace::Constant | MemSpace::Texture => {}
+    }
+}
+
 impl MemAccessEvent {
-    /// Number of memory transactions this warp access costs under the
-    /// hardware coalescing model: the count of distinct
-    /// [`COALESCE_SEGMENT`]-byte segments touched. The classic
-    /// coalescing side channel (Jiang et al., HPCA'16) observes exactly
-    /// this quantity through timing.
+    /// [`coalesced_transactions`] over this event's lanes.
     pub fn coalesced_transactions(&self) -> u32 {
-        let mut segments: Vec<u64> = self
-            .lane_addrs
-            .iter()
-            .map(|&(_, a)| a / COALESCE_SEGMENT)
-            .collect();
-        segments.sort_unstable();
-        segments.dedup();
-        segments.len() as u32
+        coalesced_transactions(&self.lane_addrs, &mut Vec::new())
     }
 
-    /// Shared-memory bank-conflict degree: the maximum number of lanes
-    /// hitting the same 4-byte-interleaved bank (1 = conflict-free). The
-    /// access serialises into this many cycles on real hardware — another
-    /// timing observable (Jiang et al., TACO'19).
+    /// [`bank_conflict_degree`] over this event's lanes.
     pub fn bank_conflict_degree(&self) -> u32 {
-        let mut counts = [0u32; SHARED_BANKS as usize];
-        let mut distinct_words: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
-        for &(_, a) in &self.lane_addrs {
-            distinct_words.push(a / 4);
-        }
-        distinct_words.sort_unstable();
-        distinct_words.dedup();
-        // Broadcasts (all lanes on one word) are conflict-free; count
-        // distinct words per bank.
-        for w in distinct_words {
-            counts[(w % SHARED_BANKS) as usize] += 1;
-        }
-        counts.iter().copied().max().unwrap_or(0).max(1)
+        bank_conflict_degree(&self.lane_addrs, &mut Vec::new())
     }
 
-    /// The microarchitectural cost feature of this access: transactions
-    /// for global memory, bank-conflict degree for shared memory, and 1
-    /// for the uniform-latency spaces.
+    /// [`cost_feature`] over this event's lanes.
     pub fn cost_feature(&self) -> u32 {
-        match self.space {
-            MemSpace::Global => self.coalesced_transactions(),
-            MemSpace::Shared => self.bank_conflict_degree(),
-            MemSpace::Local | MemSpace::Constant | MemSpace::Texture => 1,
-        }
+        cost_feature(self.space, &self.lane_addrs, &mut Vec::new())
     }
 
-    /// Folds this access into the launch's execution counters: every event
-    /// bumps `mem_accesses`; global accesses add their transaction count
-    /// and are classified as coalesced (one transaction) or serialized;
-    /// shared accesses add their *excess* bank cycles (degree − 1).
+    /// [`apply_event_counters`] with this event's space and cost.
     pub fn apply_counters(&self, c: &mut owl_metrics::SimCounters) {
-        c.mem_accesses += 1;
-        match self.space {
-            MemSpace::Global => {
-                let tx = u64::from(self.coalesced_transactions());
-                c.mem_transactions += tx;
-                if tx <= 1 {
-                    c.coalesced_accesses += 1;
-                } else {
-                    c.serialized_accesses += 1;
-                }
-            }
-            MemSpace::Shared => {
-                c.bank_conflicts += u64::from(self.bank_conflict_degree()) - 1;
-            }
-            MemSpace::Local | MemSpace::Constant | MemSpace::Texture => {}
-        }
+        apply_event_counters(self.space, self.cost_feature(), c);
+    }
+}
+
+/// A flat batch of memory-access events accumulated by one warp over one
+/// basic block, flushed to the hook in a single [`KernelHook::mem_batch`]
+/// call.
+///
+/// Structure-of-arrays layout: fixed-size descriptors in [`Self::events`]
+/// order plus one shared `(lane, address)` pool, so the interpreter's
+/// inner loop appends to two flat vectors instead of allocating a
+/// [`MemAccessEvent`] and crossing a virtual call per instruction. Costs
+/// and execution counters are computed once, monomorphically, in
+/// [`MemEventBatch::finish_event`] — consumers read
+/// [`MemEventDesc::cost`] instead of re-deriving it from the addresses.
+#[derive(Debug, Default)]
+pub struct MemEventBatch {
+    descs: Vec<MemEventDesc>,
+    addrs: Vec<(u8, u64)>,
+    scratch: Vec<u64>,
+}
+
+/// Per-event fixed-size record within a [`MemEventBatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemEventDesc {
+    /// Basic block containing the instruction.
+    pub bb: BlockId,
+    /// Static index of the instruction within its block.
+    pub inst_idx: u32,
+    /// Memory space accessed.
+    pub space: MemSpace,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The access's [`cost_feature`], computed at
+    /// [`MemEventBatch::finish_event`] time.
+    pub cost: u32,
+    addr_start: u32,
+    addr_len: u32,
+}
+
+impl MemEventBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    /// Drops all buffered events, keeping capacity.
+    pub fn clear(&mut self) {
+        self.descs.clear();
+        self.addrs.clear();
+    }
+
+    /// Opens a new event; follow with [`Self::push_addr`] per
+    /// participating lane and close with [`Self::finish_event`].
+    #[inline]
+    pub fn begin_event(&mut self, bb: BlockId, inst_idx: u32, space: MemSpace, kind: AccessKind) {
+        self.descs.push(MemEventDesc {
+            bb,
+            inst_idx,
+            space,
+            kind,
+            cost: 0,
+            addr_start: self.addrs.len() as u32,
+            addr_len: 0,
+        });
+    }
+
+    /// Appends one participating lane's byte address to the open event.
+    #[inline]
+    pub fn push_addr(&mut self, lane: u8, addr: u64) {
+        self.addrs.push((lane, addr));
+    }
+
+    /// Discards the open event and any addresses pushed for it. Used on
+    /// mid-instruction error paths (e.g. an out-of-bounds lane) so the
+    /// batch never flushes a half-recorded event — matching the legacy
+    /// per-event path, which built the event only after all lanes
+    /// succeeded.
+    #[inline]
+    pub fn abort_event(&mut self) {
+        let desc = self.descs.pop().expect("abort_event without begin_event");
+        self.addrs.truncate(desc.addr_start as usize);
+    }
+
+    /// Closes the open event: computes its cost feature and folds it into
+    /// the launch's execution counters.
+    #[inline]
+    pub fn finish_event(&mut self, counters: &mut owl_metrics::SimCounters) {
+        let desc = self
+            .descs
+            .last_mut()
+            .expect("finish_event without begin_event");
+        desc.addr_len = self.addrs.len() as u32 - desc.addr_start;
+        let lanes = &self.addrs[desc.addr_start as usize..];
+        desc.cost = cost_feature(desc.space, lanes, &mut self.scratch);
+        apply_event_counters(desc.space, desc.cost, counters);
+    }
+
+    /// Iterates the buffered events with their lane-address slices, in
+    /// execution order.
+    pub fn events(&self) -> impl Iterator<Item = (&MemEventDesc, &[(u8, u64)])> {
+        self.descs.iter().map(|d| {
+            let lanes = &self.addrs[d.addr_start as usize..(d.addr_start + d.addr_len) as usize];
+            (d, lanes)
+        })
     }
 }
 
@@ -182,13 +309,34 @@ pub trait KernelHook {
     fn mem_access(&mut self, warp: WarpRef, event: &MemAccessEvent) {
         let _ = (warp, event);
     }
+
+    /// A warp finished a basic block that executed memory accesses; the
+    /// batch holds them in execution order. The default materialises each
+    /// event and forwards it to [`Self::mem_access`], so hooks written
+    /// against the per-event callback observe an identical stream.
+    /// Bulk consumers (the Owl tracer) override this to read the flat
+    /// layout directly.
+    fn mem_batch(&mut self, warp: WarpRef, batch: &MemEventBatch) {
+        for (desc, lanes) in batch.events() {
+            let event = MemAccessEvent {
+                bb: desc.bb,
+                inst_idx: desc.inst_idx,
+                space: desc.space,
+                kind: desc.kind,
+                lane_addrs: lanes.to_vec(),
+            };
+            self.mem_access(warp, &event);
+        }
+    }
 }
 
 /// A hook that observes nothing (uninstrumented execution).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullHook;
 
-impl KernelHook for NullHook {}
+impl KernelHook for NullHook {
+    fn mem_batch(&mut self, _warp: WarpRef, _batch: &MemEventBatch) {}
+}
 
 /// A hook that buffers every event, useful in tests and as a building block
 /// for tracers.
@@ -340,6 +488,44 @@ mod tests {
         mk(MemSpace::Constant, vec![0]).apply_counters(&mut c);
         assert_eq!(c.mem_accesses, 4);
         assert_eq!(c.mem_transactions, 33);
+    }
+
+    #[test]
+    fn mem_batch_matches_per_event_stream() {
+        let w = WarpRef { cta: 0, warp: 1 };
+        let mut c = owl_metrics::SimCounters::default();
+        let mut batch = MemEventBatch::new();
+        batch.begin_event(BlockId(2), 0, MemSpace::Global, AccessKind::Read);
+        for l in 0..4u8 {
+            batch.push_addr(l, u64::from(l) * 64);
+        }
+        batch.finish_event(&mut c);
+        batch.begin_event(BlockId(2), 3, MemSpace::Shared, AccessKind::Write);
+        for l in 0..4u8 {
+            batch.push_addr(l, u64::from(l) * 8);
+        }
+        batch.finish_event(&mut c);
+
+        // The default trait impl materialises the same per-event stream.
+        let mut h = RecordingHook::default();
+        h.mem_batch(w, &batch);
+        assert_eq!(h.accesses.len(), 2);
+        let first = &h.accesses[0].1;
+        assert_eq!(first.lane_addrs, vec![(0, 0), (1, 64), (2, 128), (3, 192)]);
+        assert_eq!(first.space, MemSpace::Global);
+
+        // finish_event applied the same counters apply_counters would.
+        let mut expect = owl_metrics::SimCounters::default();
+        for (_, e) in &h.accesses {
+            e.apply_counters(&mut expect);
+        }
+        assert_eq!(c, expect);
+        // ... and stamped the same cost the event computes for itself.
+        let costs: Vec<u32> = batch.events().map(|(d, _)| d.cost).collect();
+        assert_eq!(
+            costs,
+            vec![first.cost_feature(), h.accesses[1].1.cost_feature()]
+        );
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod exec;
 pub mod grid;
 pub mod hook;
 pub mod isa;
+mod lowered;
 pub mod mem;
 pub mod program;
 mod warp;
@@ -76,7 +77,8 @@ pub use error::ExecError;
 pub use exec::{launch, launch_with_options, LaunchOptions, LaunchStats};
 pub use grid::{Dim3, LaunchConfig, WARP_SIZE};
 pub use hook::{
-    AccessKind, KernelHook, LaunchInfo, MemAccessEvent, NullHook, RecordingHook, WarpRef,
+    AccessKind, KernelHook, LaunchInfo, MemAccessEvent, MemEventBatch, MemEventDesc, NullHook,
+    RecordingHook, WarpRef,
 };
 pub use mem::{AllocId, DeviceMemory};
 pub use owl_metrics::SimCounters;

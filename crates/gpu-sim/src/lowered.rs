@@ -1,0 +1,347 @@
+//! Lowered (pre-decoded) kernel IR for the interpreter hot path.
+//!
+//! [`crate::isa::Inst`] is the *authoring* format: nested enums
+//! (`Operand::Reg`/`Imm`, `Option<Guard>`, `MemWidth`) that are pleasant
+//! to build and validate but force the interpreter to re-match the same
+//! structure on every dynamic execution. [`LoweredProgram::lower`] decodes
+//! each instruction once per launch into a dense, flat form:
+//!
+//! * guards become a sentinel-coded predicate index ([`NO_GUARD`]) plus
+//!   an expected bit — no `Option` unwrapping per step,
+//! * memory widths become byte counts and atomics carry their
+//!   pre-computed value mask,
+//! * register/predicate operands are raw indices the register file is
+//!   addressed with directly.
+//!
+//! Lowering is O(static instructions) and runs once per `launch`, which
+//! amortises to nothing against the dynamic instruction count; the
+//! structured control-flow tree (`Stmt`) is unchanged, so divergence
+//! handling is untouched.
+
+use crate::isa::{
+    AtomicOp, BinOp, CmpOp, Inst, InstOp, MemSpace, Operand, ShflMode, SpecialReg, UnOp,
+};
+use crate::program::KernelProgram;
+
+/// Guard sentinel: the instruction executes in every active lane.
+pub(crate) const NO_GUARD: u16 = u16::MAX;
+
+/// A pre-decoded operand: a raw register index or an immediate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LOperand {
+    /// Value of the lane's register with this index.
+    Reg(u16),
+    /// The immediate value itself.
+    Imm(u64),
+}
+
+impl From<Operand> for LOperand {
+    fn from(op: Operand) -> Self {
+        match op {
+            Operand::Reg(r) => LOperand::Reg(r.0),
+            Operand::Imm(v) => LOperand::Imm(v),
+        }
+    }
+}
+
+/// A flat, pre-decoded instruction operation. Mirrors
+/// [`crate::isa::InstOp`] with operands resolved to [`LOperand`], widths
+/// in bytes, and atomic masks pre-computed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LOp {
+    Mov {
+        dst: u16,
+        src: LOperand,
+    },
+    Bin {
+        op: BinOp,
+        dst: u16,
+        a: LOperand,
+        b: LOperand,
+    },
+    Un {
+        op: UnOp,
+        dst: u16,
+        a: LOperand,
+    },
+    SetP {
+        pred: u16,
+        op: CmpOp,
+        a: LOperand,
+        b: LOperand,
+    },
+    Sel {
+        dst: u16,
+        pred: u16,
+        a: LOperand,
+        b: LOperand,
+    },
+    Ld {
+        dst: u16,
+        space: MemSpace,
+        addr: LOperand,
+        width: u64,
+    },
+    St {
+        space: MemSpace,
+        addr: LOperand,
+        value: LOperand,
+        width: u64,
+    },
+    LdParam {
+        dst: u16,
+        index: u16,
+    },
+    Special {
+        dst: u16,
+        sr: SpecialReg,
+    },
+    Atomic {
+        op: AtomicOp,
+        dst: u16,
+        space: MemSpace,
+        addr: LOperand,
+        value: LOperand,
+        width: u64,
+        /// `width`-byte value mask, pre-computed so the per-lane loop
+        /// does no shifting.
+        value_mask: u64,
+    },
+    Shfl {
+        mode: ShflMode,
+        dst: u16,
+        src: u16,
+        lane: LOperand,
+    },
+    Ballot {
+        dst: u16,
+        pred: u16,
+    },
+    Tex {
+        dst: u16,
+        slot: u16,
+        x: LOperand,
+        y: LOperand,
+    },
+}
+
+/// One pre-decoded instruction: flattened guard plus [`LOp`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LInst {
+    /// Guard predicate index, [`NO_GUARD`] when unguarded.
+    pub guard_pred: u16,
+    /// Value the guard predicate must have for a lane to participate.
+    pub guard_expected: bool,
+    /// The decoded operation.
+    pub op: LOp,
+}
+
+/// One basic block's pre-decoded instructions.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LoweredBlock {
+    pub insts: Vec<LInst>,
+}
+
+/// The pre-decoded form of a whole kernel, indexed like
+/// [`KernelProgram::blocks`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LoweredProgram {
+    pub blocks: Vec<LoweredBlock>,
+}
+
+fn width_mask(bytes: u64) -> u64 {
+    if bytes == 8 {
+        u64::MAX
+    } else {
+        (1 << (8 * bytes)) - 1
+    }
+}
+
+fn lower_inst(inst: &Inst) -> LInst {
+    let (guard_pred, guard_expected) = match inst.guard {
+        None => (NO_GUARD, false),
+        Some(g) => (g.pred.0, g.expected),
+    };
+    let op = match &inst.op {
+        InstOp::Mov { dst, src } => LOp::Mov {
+            dst: dst.0,
+            src: (*src).into(),
+        },
+        InstOp::Bin { op, dst, a, b } => LOp::Bin {
+            op: *op,
+            dst: dst.0,
+            a: (*a).into(),
+            b: (*b).into(),
+        },
+        InstOp::Un { op, dst, a } => LOp::Un {
+            op: *op,
+            dst: dst.0,
+            a: (*a).into(),
+        },
+        InstOp::SetP { pred, op, a, b } => LOp::SetP {
+            pred: pred.0,
+            op: *op,
+            a: (*a).into(),
+            b: (*b).into(),
+        },
+        InstOp::Sel { dst, pred, a, b } => LOp::Sel {
+            dst: dst.0,
+            pred: pred.0,
+            a: (*a).into(),
+            b: (*b).into(),
+        },
+        InstOp::Ld {
+            dst,
+            space,
+            addr,
+            width,
+        } => LOp::Ld {
+            dst: dst.0,
+            space: *space,
+            addr: (*addr).into(),
+            width: width.bytes(),
+        },
+        InstOp::St {
+            space,
+            addr,
+            value,
+            width,
+        } => LOp::St {
+            space: *space,
+            addr: (*addr).into(),
+            value: (*value).into(),
+            width: width.bytes(),
+        },
+        InstOp::LdParam { dst, index } => LOp::LdParam {
+            dst: dst.0,
+            index: *index,
+        },
+        InstOp::Special { dst, sr } => LOp::Special {
+            dst: dst.0,
+            sr: *sr,
+        },
+        InstOp::Atomic {
+            op,
+            dst,
+            space,
+            addr,
+            value,
+            width,
+        } => {
+            let bytes = width.bytes();
+            LOp::Atomic {
+                op: *op,
+                dst: dst.0,
+                space: *space,
+                addr: (*addr).into(),
+                value: (*value).into(),
+                width: bytes,
+                value_mask: width_mask(bytes),
+            }
+        }
+        InstOp::Shfl {
+            mode,
+            dst,
+            src,
+            lane,
+        } => LOp::Shfl {
+            mode: *mode,
+            dst: dst.0,
+            src: src.0,
+            lane: (*lane).into(),
+        },
+        InstOp::Ballot { dst, pred } => LOp::Ballot {
+            dst: dst.0,
+            pred: pred.0,
+        },
+        InstOp::Tex { dst, slot, x, y } => LOp::Tex {
+            dst: dst.0,
+            slot: *slot,
+            x: (*x).into(),
+            y: (*y).into(),
+        },
+    };
+    LInst {
+        guard_pred,
+        guard_expected,
+        op,
+    }
+}
+
+impl LoweredProgram {
+    /// Pre-decodes every instruction of `program`.
+    pub fn lower(program: &KernelProgram) -> Self {
+        LoweredProgram {
+            blocks: program
+                .blocks
+                .iter()
+                .map(|b| LoweredBlock {
+                    insts: b.insts.iter().map(lower_inst).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{MemWidth, Pred, Reg};
+
+    #[test]
+    fn lowering_flattens_guards_and_widths() {
+        let inst = Inst::guarded(
+            InstOp::Ld {
+                dst: Reg(3),
+                space: MemSpace::Global,
+                addr: Operand::Reg(Reg(1)),
+                width: MemWidth::B4,
+            },
+            Pred(2),
+            false,
+        );
+        let l = lower_inst(&inst);
+        assert_eq!(l.guard_pred, 2);
+        assert!(!l.guard_expected);
+        match l.op {
+            LOp::Ld { dst, width, .. } => {
+                assert_eq!(dst, 3);
+                assert_eq!(width, 4);
+            }
+            other => panic!("wrong lowering: {other:?}"),
+        }
+        let plain = lower_inst(&Inst::new(InstOp::Ballot {
+            dst: Reg(0),
+            pred: Pred(0),
+        }));
+        assert_eq!(plain.guard_pred, NO_GUARD);
+    }
+
+    #[test]
+    fn atomic_mask_covers_width() {
+        let l = lower_inst(&Inst::new(InstOp::Atomic {
+            op: AtomicOp::Add,
+            dst: Reg(0),
+            space: MemSpace::Global,
+            addr: Operand::Reg(Reg(1)),
+            value: Operand::Imm(1),
+            width: MemWidth::B2,
+        }));
+        match l.op {
+            LOp::Atomic { value_mask, .. } => assert_eq!(value_mask, 0xffff),
+            other => panic!("wrong lowering: {other:?}"),
+        }
+        let l8 = lower_inst(&Inst::new(InstOp::Atomic {
+            op: AtomicOp::Add,
+            dst: Reg(0),
+            space: MemSpace::Global,
+            addr: Operand::Reg(Reg(1)),
+            value: Operand::Imm(1),
+            width: MemWidth::B8,
+        }));
+        match l8.op {
+            LOp::Atomic { value_mask, .. } => assert_eq!(value_mask, u64::MAX),
+            other => panic!("wrong lowering: {other:?}"),
+        }
+    }
+}

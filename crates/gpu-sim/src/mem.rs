@@ -9,7 +9,7 @@
 //! `(allocation, offset)` pairs.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 /// Identifier of a global-memory allocation, in allocation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -136,8 +136,15 @@ struct Allocation {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DeviceMemory {
-    /// Allocations keyed by base address.
-    allocs: BTreeMap<u64, Allocation>,
+    /// Live allocations, sorted by base address. Bases are handed out in
+    /// increasing order so `alloc` appends; `free` is the only O(n) call.
+    allocs: Vec<Allocation>,
+    /// Index of the most recently hit allocation. Per-lane accesses are
+    /// heavily clustered within one buffer, so checking this entry first
+    /// skips the binary search on almost every load/store. Interior
+    /// mutability is sound here: the owning `Device` is `!Send + !Sync`
+    /// (asserted in `owl-host`), so no concurrent access exists.
+    hot: Cell<usize>,
     next_base: u64,
     next_id: u32,
     /// When set, allocation bases get a pseudo-random gap derived from this
@@ -187,7 +194,8 @@ impl DeviceMemory {
     /// constant bank.
     pub fn new() -> Self {
         Self {
-            allocs: BTreeMap::new(),
+            allocs: Vec::new(),
+            hot: Cell::new(0),
             next_base: GLOBAL_HEAP_BASE,
             next_id: 0,
             aslr_state: None,
@@ -233,8 +241,11 @@ impl DeviceMemory {
         let id = AllocId(self.next_id);
         self.next_id += 1;
         self.next_base = (base + size as u64).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN + ALLOC_ALIGN;
+        // Bases grow monotonically, so this is a push; the partition point
+        // keeps the sort invariant even if the base policy ever changes.
+        let pos = self.allocs.partition_point(|a| a.base < base);
         self.allocs.insert(
-            base,
+            pos,
             Allocation {
                 id,
                 base,
@@ -248,7 +259,15 @@ impl DeviceMemory {
     ///
     /// Returns `true` when an allocation was removed.
     pub fn free(&mut self, base: u64) -> bool {
-        self.allocs.remove(&base).is_some()
+        match self.allocs.binary_search_by_key(&base, |a| a.base) {
+            Ok(i) => {
+                self.allocs.remove(i);
+                // Indices after `i` shifted; drop the stale hot entry.
+                self.hot.set(0);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Number of live allocations.
@@ -256,15 +275,34 @@ impl DeviceMemory {
         self.allocs.len()
     }
 
+    /// Index of the allocation containing `addr`: the hot entry when it
+    /// still matches, otherwise a binary search (updating the hot entry).
+    fn find_index(&self, addr: u64) -> Option<usize> {
+        if let Some(a) = self.allocs.get(self.hot.get()) {
+            if addr >= a.base && addr - a.base < a.data.len() as u64 {
+                return Some(self.hot.get());
+            }
+        }
+        let idx = self
+            .allocs
+            .partition_point(|a| a.base <= addr)
+            .checked_sub(1)?;
+        let a = &self.allocs[idx];
+        if addr - a.base < a.data.len() as u64 {
+            self.hot.set(idx);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
     fn find(&self, addr: u64) -> Option<&Allocation> {
-        let (_, a) = self.allocs.range(..=addr).next_back()?;
-        (addr < a.base + a.data.len() as u64).then_some(a)
+        self.find_index(addr).map(|i| &self.allocs[i])
     }
 
     fn find_mut(&mut self, addr: u64) -> Option<&mut Allocation> {
-        let (&base, _) = self.allocs.range(..=addr).next_back()?;
-        let a = self.allocs.get_mut(&base).expect("key just observed");
-        (addr < a.base + a.data.len() as u64).then_some(a)
+        let i = self.find_index(addr)?;
+        Some(&mut self.allocs[i])
     }
 
     /// Resolves a raw global address to `(allocation id, offset)` — the

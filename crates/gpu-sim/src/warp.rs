@@ -20,10 +20,9 @@
 
 use crate::error::ExecError;
 use crate::grid::Dim3;
-use crate::hook::{AccessKind, KernelHook, MemAccessEvent, WarpRef};
-use crate::isa::{
-    AtomicOp, BinOp, CmpOp, Inst, InstOp, MemSpace, Operand, Pred, Reg, ShflMode, UnOp,
-};
+use crate::hook::{AccessKind, KernelHook, MemEventBatch, WarpRef};
+use crate::isa::{AtomicOp, BinOp, CmpOp, MemSpace, Pred, ShflMode, UnOp};
+use crate::lowered::{LInst, LOp, LOperand, LoweredProgram, NO_GUARD};
 use crate::mem::{DeviceMemory, LinearMemory};
 use crate::program::{BlockId, KernelProgram, Region, Stmt};
 use owl_metrics::SimCounters;
@@ -40,6 +39,9 @@ pub(crate) struct ExecEnv<'a> {
     pub shared: &'a mut LinearMemory,
     /// Instrumentation sink.
     pub hook: &'a mut dyn KernelHook,
+    /// Per-block memory-event batch, reused across blocks and warps and
+    /// flushed to the hook at every block exit.
+    pub batch: &'a mut MemEventBatch,
     /// Remaining instruction budget for the whole launch.
     pub fuel: &'a mut u64,
     /// Kernel arguments.
@@ -106,7 +108,12 @@ struct LaneInfo {
 
 /// One warp's execution state.
 pub(crate) struct WarpExec<'p> {
-    program: &'p KernelProgram,
+    /// Pre-decoded instruction tables, built once per launch.
+    lowered: &'p LoweredProgram,
+    /// `num_regs`/`num_preds` as `usize`, cached for register-file
+    /// indexing in the per-lane loops.
+    nregs: usize,
+    npreds: usize,
     warp_ref: WarpRef,
     frames: Vec<Frame<'p>>,
     /// Initial activity mask (lanes that map to real threads).
@@ -131,6 +138,7 @@ impl<'p> WarpExec<'p> {
     /// given CTA. Lanes beyond the block size start inactive.
     pub fn new(
         program: &'p KernelProgram,
+        lowered: &'p LoweredProgram,
         grid: Dim3,
         block: Dim3,
         cta_linear: u32,
@@ -169,7 +177,9 @@ impl<'p> WarpExec<'p> {
             rejoin: false,
         });
         WarpExec {
-            program,
+            lowered,
+            nregs: usize::from(program.num_regs),
+            npreds: usize::from(program.num_preds),
             warp_ref: WarpRef {
                 cta: cta_linear,
                 warp: warp_in_block,
@@ -201,31 +211,36 @@ impl<'p> WarpExec<'p> {
         self.done
     }
 
-    fn reg(&self, lane: usize, r: Reg) -> u64 {
-        self.regs[lane * usize::from(self.program.num_regs) + usize::from(r.0)]
+    #[inline]
+    fn reg(&self, lane: usize, r: u16) -> u64 {
+        self.regs[lane * self.nregs + usize::from(r)]
     }
 
-    fn set_reg(&mut self, lane: usize, r: Reg, v: u64) {
-        self.regs[lane * usize::from(self.program.num_regs) + usize::from(r.0)] = v;
+    #[inline]
+    fn set_reg(&mut self, lane: usize, r: u16, v: u64) {
+        self.regs[lane * self.nregs + usize::from(r)] = v;
     }
 
-    fn pred(&self, lane: usize, p: Pred) -> bool {
-        self.preds[lane * usize::from(self.program.num_preds) + usize::from(p.0)]
+    #[inline]
+    fn pred(&self, lane: usize, p: u16) -> bool {
+        self.preds[lane * self.npreds + usize::from(p)]
     }
 
-    fn set_pred(&mut self, lane: usize, p: Pred, v: bool) {
-        self.preds[lane * usize::from(self.program.num_preds) + usize::from(p.0)] = v;
+    #[inline]
+    fn set_pred(&mut self, lane: usize, p: u16, v: bool) {
+        self.preds[lane * self.npreds + usize::from(p)] = v;
     }
 
-    fn eval(&self, lane: usize, op: Operand) -> u64 {
+    #[inline]
+    fn eval(&self, lane: usize, op: LOperand) -> u64 {
         match op {
-            Operand::Reg(r) => self.reg(lane, r),
-            Operand::Imm(v) => v,
+            LOperand::Reg(r) => self.reg(lane, r),
+            LOperand::Imm(v) => v,
         }
     }
 
     /// Mask of lanes (within `mask`) where predicate `p` is true.
-    fn pred_mask(&self, mask: Mask, p: Pred) -> Mask {
+    fn pred_mask(&self, mask: Mask, p: u16) -> Mask {
         let mut out = 0;
         for lane in 0..self.warp_size as usize {
             if mask & (1 << lane) != 0 && self.pred(lane, p) {
@@ -294,7 +309,7 @@ impl<'p> WarpExec<'p> {
                         else_region,
                     } => {
                         env.counters.branches += 1;
-                        let m_then = self.pred_mask(mask, *pred);
+                        let m_then = self.pred_mask(mask, pred.0);
                         let m_else = mask & !m_then;
                         // A divergence event: the branch splits the active
                         // mask into two non-empty paths. The frame that pops
@@ -373,7 +388,7 @@ impl<'p> WarpExec<'p> {
                 } => {
                     self.exec_block(cond_block, active, env)?;
                     env.counters.branches += 1;
-                    let still = self.pred_mask(active, pred);
+                    let still = self.pred_mask(active, pred.0);
                     let Some(Frame {
                         kind:
                             FrameKind::Loop {
@@ -423,6 +438,17 @@ impl<'p> WarpExec<'p> {
         }
     }
 
+    /// Delivers the block's buffered memory events to the hook in one
+    /// virtual call. Must run before control leaves the block — on
+    /// success *and* on error — so hooks observe the same event stream
+    /// the per-instruction callbacks produced.
+    fn flush_batch(&self, env: &mut ExecEnv<'_>) {
+        if !env.batch.is_empty() {
+            env.hook.mem_batch(self.warp_ref, env.batch);
+            env.batch.clear();
+        }
+    }
+
     fn exec_block(
         &mut self,
         id: BlockId,
@@ -431,29 +457,58 @@ impl<'p> WarpExec<'p> {
     ) -> Result<(), ExecError> {
         debug_assert_ne!(mask, 0, "executing a block with no active lanes");
         env.hook.bb_entry(self.warp_ref, id);
-        let block = &self.program.blocks[id.0 as usize];
-        for (inst_idx, inst) in block.insts.iter().enumerate() {
-            if *env.fuel == 0 {
-                return Err(ExecError::FuelExhausted);
-            }
-            *env.fuel -= 1;
-            env.counters.instructions += 1;
-            self.exec_inst(id, inst_idx as u32, inst, mask, env)?;
-        }
-        Ok(())
-    }
-
-    fn guard_mask(&self, mask: Mask, inst: &Inst) -> Mask {
-        match inst.guard {
-            None => mask,
-            Some(g) => {
-                let p = self.pred_mask(mask, g.pred);
-                if g.expected {
-                    p
-                } else {
-                    mask & !p
+        let block = &self.lowered.blocks[id.0 as usize];
+        let n = block.insts.len() as u64;
+        let result = if *env.fuel >= n {
+            // Fast path: charge fuel and the instruction counter for the
+            // whole block up front, keeping the per-instruction loop free
+            // of budget branches. A mid-block execution error refunds the
+            // instructions that never ran, so totals match per-step
+            // accounting exactly.
+            *env.fuel -= n;
+            env.counters.instructions += n;
+            let mut result = Ok(());
+            for (inst_idx, inst) in block.insts.iter().enumerate() {
+                if let Err(e) = self.exec_inst(id, inst_idx as u32, inst, mask, env) {
+                    let unexecuted = n - (inst_idx as u64 + 1);
+                    *env.fuel += unexecuted;
+                    env.counters.instructions -= unexecuted;
+                    result = Err(e);
+                    break;
                 }
             }
+            result
+        } else {
+            // Slow path (budget nearly exhausted): per-instruction fuel
+            // accounting preserves the exact legacy exhaustion point.
+            let mut result = Ok(());
+            for (inst_idx, inst) in block.insts.iter().enumerate() {
+                if *env.fuel == 0 {
+                    result = Err(ExecError::FuelExhausted);
+                    break;
+                }
+                *env.fuel -= 1;
+                env.counters.instructions += 1;
+                if let Err(e) = self.exec_inst(id, inst_idx as u32, inst, mask, env) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            result
+        };
+        self.flush_batch(env);
+        result
+    }
+
+    fn guard_mask(&self, mask: Mask, inst: &LInst) -> Mask {
+        if inst.guard_pred == NO_GUARD {
+            return mask;
+        }
+        let p = self.pred_mask(mask, inst.guard_pred);
+        if inst.guard_expected {
+            p
+        } else {
+            mask & !p
         }
     }
 
@@ -461,7 +516,7 @@ impl<'p> WarpExec<'p> {
         &mut self,
         bb: BlockId,
         inst_idx: u32,
-        inst: &Inst,
+        inst: &LInst,
         mask: Mask,
         env: &mut ExecEnv<'_>,
     ) -> Result<(), ExecError> {
@@ -470,181 +525,166 @@ impl<'p> WarpExec<'p> {
             return Ok(());
         }
         let lanes = (0..self.warp_size as usize).filter(|&l| active & (1 << l) != 0);
-        match &inst.op {
-            InstOp::Mov { dst, src } => {
+        match inst.op {
+            LOp::Mov { dst, src } => {
                 for lane in lanes {
-                    let v = self.eval(lane, *src);
-                    self.set_reg(lane, *dst, v);
+                    let v = self.eval(lane, src);
+                    self.set_reg(lane, dst, v);
                 }
             }
-            InstOp::Bin { op, dst, a, b } => {
+            LOp::Bin { op, dst, a, b } => {
                 for lane in lanes {
-                    let (x, y) = (self.eval(lane, *a), self.eval(lane, *b));
-                    let v = eval_bin(*op, x, y).ok_or(ExecError::DivisionByZero {
+                    let (x, y) = (self.eval(lane, a), self.eval(lane, b));
+                    let v = eval_bin(op, x, y).ok_or(ExecError::DivisionByZero {
                         bb,
                         inst_idx,
                         warp: self.warp_ref,
                     })?;
-                    self.set_reg(lane, *dst, v);
+                    self.set_reg(lane, dst, v);
                 }
             }
-            InstOp::Un { op, dst, a } => {
+            LOp::Un { op, dst, a } => {
                 for lane in lanes {
-                    let x = self.eval(lane, *a);
-                    self.set_reg(lane, *dst, eval_un(*op, x));
+                    let x = self.eval(lane, a);
+                    self.set_reg(lane, dst, eval_un(op, x));
                 }
             }
-            InstOp::SetP { pred, op, a, b } => {
+            LOp::SetP { pred, op, a, b } => {
                 for lane in lanes {
-                    let (x, y) = (self.eval(lane, *a), self.eval(lane, *b));
-                    self.set_pred(lane, *pred, eval_cmp(*op, x, y));
+                    let (x, y) = (self.eval(lane, a), self.eval(lane, b));
+                    self.set_pred(lane, pred, eval_cmp(op, x, y));
                 }
             }
-            InstOp::Sel { dst, pred, a, b } => {
+            LOp::Sel { dst, pred, a, b } => {
                 for lane in lanes {
-                    let v = if self.pred(lane, *pred) {
-                        self.eval(lane, *a)
+                    let v = if self.pred(lane, pred) {
+                        self.eval(lane, a)
                     } else {
-                        self.eval(lane, *b)
+                        self.eval(lane, b)
                     };
-                    self.set_reg(lane, *dst, v);
+                    self.set_reg(lane, dst, v);
                 }
             }
-            InstOp::Ld {
+            LOp::Ld {
                 dst,
                 space,
                 addr,
                 width,
             } => {
-                let w = width.bytes();
-                let mut lane_addrs = Vec::new();
+                env.batch.begin_event(bb, inst_idx, space, AccessKind::Read);
                 for lane in lanes {
-                    let a = self.eval(lane, *addr);
-                    lane_addrs.push((lane as u8, a));
-                    let v =
-                        self.load(*space, lane, a, w, env)
-                            .map_err(|source| ExecError::Memory {
+                    let a = self.eval(lane, addr);
+                    env.batch.push_addr(lane as u8, a);
+                    match self.load(space, lane, a, width, env) {
+                        Ok(v) => self.set_reg(lane, dst, v),
+                        Err(source) => {
+                            env.batch.abort_event();
+                            return Err(ExecError::Memory {
                                 bb,
                                 inst_idx,
                                 warp: self.warp_ref,
-                                space: *space,
+                                space,
                                 source,
-                            })?;
-                    self.set_reg(lane, *dst, v);
+                            });
+                        }
+                    }
                 }
-                let event = MemAccessEvent {
-                    bb,
-                    inst_idx,
-                    space: *space,
-                    kind: AccessKind::Read,
-                    lane_addrs,
-                };
-                event.apply_counters(env.counters);
-                env.hook.mem_access(self.warp_ref, &event);
+                env.batch.finish_event(env.counters);
             }
-            InstOp::St {
+            LOp::St {
                 space,
                 addr,
                 value,
                 width,
             } => {
-                let w = width.bytes();
-                let mut lane_addrs = Vec::new();
+                env.batch
+                    .begin_event(bb, inst_idx, space, AccessKind::Write);
                 for lane in lanes {
-                    let a = self.eval(lane, *addr);
-                    let v = self.eval(lane, *value);
-                    lane_addrs.push((lane as u8, a));
-                    self.store(*space, lane, a, w, v, env)
-                        .map_err(|source| ExecError::Memory {
+                    let a = self.eval(lane, addr);
+                    let v = self.eval(lane, value);
+                    env.batch.push_addr(lane as u8, a);
+                    if let Err(source) = self.store(space, lane, a, width, v, env) {
+                        env.batch.abort_event();
+                        return Err(ExecError::Memory {
                             bb,
                             inst_idx,
                             warp: self.warp_ref,
-                            space: *space,
+                            space,
                             source,
-                        })?;
+                        });
+                    }
                 }
-                let event = MemAccessEvent {
-                    bb,
-                    inst_idx,
-                    space: *space,
-                    kind: AccessKind::Write,
-                    lane_addrs,
-                };
-                event.apply_counters(env.counters);
-                env.hook.mem_access(self.warp_ref, &event);
+                env.batch.finish_event(env.counters);
             }
-            InstOp::LdParam { dst, index } => {
+            LOp::LdParam { dst, index } => {
                 let v = *env
                     .args
-                    .get(usize::from(*index))
+                    .get(usize::from(index))
                     .ok_or(ExecError::ParamOutOfRange {
-                        index: *index,
+                        index,
                         provided: env.args.len(),
                     })?;
                 for lane in lanes {
-                    self.set_reg(lane, *dst, v);
+                    self.set_reg(lane, dst, v);
                 }
             }
-            InstOp::Special { dst, sr } => {
+            LOp::Special { dst, sr } => {
                 for lane in lanes {
-                    let v = self.special(lane, *sr);
-                    self.set_reg(lane, *dst, v);
+                    let v = self.special(lane, sr);
+                    self.set_reg(lane, dst, v);
                 }
             }
-            InstOp::Atomic {
+            LOp::Atomic {
                 op,
                 dst,
                 space,
                 addr,
                 value,
                 width,
+                value_mask,
             } => {
-                let w = width.bytes();
-                let mut lane_addrs = Vec::new();
+                env.batch
+                    .begin_event(bb, inst_idx, space, AccessKind::Atomic);
                 // Lanes serialise in lane order — a deterministic pick of
                 // the order hardware serialises atomics in.
                 for lane in lanes {
-                    let a = self.eval(lane, *addr);
-                    let v = self.eval(lane, *value);
-                    lane_addrs.push((lane as u8, a));
-                    let old =
-                        self.load(*space, lane, a, w, env)
-                            .map_err(|source| ExecError::Memory {
+                    let a = self.eval(lane, addr);
+                    let v = self.eval(lane, value);
+                    env.batch.push_addr(lane as u8, a);
+                    let old = match self.load(space, lane, a, width, env) {
+                        Ok(old) => old,
+                        Err(source) => {
+                            env.batch.abort_event();
+                            return Err(ExecError::Memory {
                                 bb,
                                 inst_idx,
                                 warp: self.warp_ref,
-                                space: *space,
+                                space,
                                 source,
-                            })?;
-                    let mask = if w == 8 { u64::MAX } else { (1 << (8 * w)) - 1 };
-                    let new = match op {
-                        AtomicOp::Add => old.wrapping_add(v) & mask,
-                        AtomicOp::MinU => old.min(v & mask),
-                        AtomicOp::MaxU => old.max(v & mask),
-                        AtomicOp::Exch => v & mask,
+                            });
+                        }
                     };
-                    self.store(*space, lane, a, w, new, env).map_err(|source| {
-                        ExecError::Memory {
+                    let new = match op {
+                        AtomicOp::Add => old.wrapping_add(v) & value_mask,
+                        AtomicOp::MinU => old.min(v & value_mask),
+                        AtomicOp::MaxU => old.max(v & value_mask),
+                        AtomicOp::Exch => v & value_mask,
+                    };
+                    if let Err(source) = self.store(space, lane, a, width, new, env) {
+                        env.batch.abort_event();
+                        return Err(ExecError::Memory {
                             bb,
                             inst_idx,
                             warp: self.warp_ref,
-                            space: *space,
+                            space,
                             source,
-                        }
-                    })?;
-                    self.set_reg(lane, *dst, old);
+                        });
+                    }
+                    self.set_reg(lane, dst, old);
                 }
-                let event = MemAccessEvent {
-                    bb,
-                    inst_idx,
-                    space: *space,
-                    kind: AccessKind::Atomic,
-                    lane_addrs,
-                };
-                event.apply_counters(env.counters);
-                env.hook.mem_access(self.warp_ref, &event);
+                env.batch.finish_event(env.counters);
             }
-            InstOp::Shfl {
+            LOp::Shfl {
                 mode,
                 dst,
                 src,
@@ -653,11 +693,11 @@ impl<'p> WarpExec<'p> {
                 // Snapshot the source register across all lanes first:
                 // every lane reads its peer's *pre-instruction* value.
                 let snapshot: Vec<u64> = (0..self.warp_size as usize)
-                    .map(|l| self.reg(l, *src))
+                    .map(|l| self.reg(l, src))
                     .collect();
                 let ws = self.warp_size as usize;
                 for lane in lanes {
-                    let sel = self.eval(lane, *lane_sel) as usize;
+                    let sel = self.eval(lane, lane_sel) as usize;
                     let peer = match mode {
                         ShflMode::Xor => (lane ^ sel) % ws,
                         ShflMode::Idx => sel % ws,
@@ -669,41 +709,34 @@ impl<'p> WarpExec<'p> {
                     } else {
                         snapshot[lane]
                     };
-                    self.set_reg(lane, *dst, v);
+                    self.set_reg(lane, dst, v);
                 }
             }
-            InstOp::Ballot { dst, pred } => {
-                let mask = self.pred_mask(active, *pred);
+            LOp::Ballot { dst, pred } => {
+                let mask = self.pred_mask(active, pred);
                 for lane in lanes {
-                    self.set_reg(lane, *dst, mask);
+                    self.set_reg(lane, dst, mask);
                 }
             }
-            InstOp::Tex { dst, slot, x, y } => {
+            LOp::Tex { dst, slot, x, y } => {
                 let texture = env
                     .mem
-                    .texture(*slot)
-                    .ok_or(ExecError::UnboundTexture { slot: *slot })?;
+                    .texture(slot)
+                    .ok_or(ExecError::UnboundTexture { slot })?;
                 // Gather coordinates first (immutable self), then fetch and
                 // write back — `texture` borrows env.mem, disjoint from
-                // self and env.hook.
+                // self and env.batch.
                 let coords: Vec<(usize, i64, i64)> = lanes
-                    .map(|lane| (lane, self.eval(lane, *x) as i64, self.eval(lane, *y) as i64))
+                    .map(|lane| (lane, self.eval(lane, x) as i64, self.eval(lane, y) as i64))
                     .collect();
-                let mut lane_addrs = Vec::new();
+                env.batch
+                    .begin_event(bb, inst_idx, MemSpace::Texture, AccessKind::Read);
                 for (lane, xi, yi) in coords {
                     let (texel, idx) = texture.fetch(xi, yi);
-                    lane_addrs.push((lane as u8, idx));
-                    self.set_reg(lane, *dst, u64::from(texel));
+                    env.batch.push_addr(lane as u8, idx);
+                    self.set_reg(lane, dst, u64::from(texel));
                 }
-                let event = MemAccessEvent {
-                    bb,
-                    inst_idx,
-                    space: MemSpace::Texture,
-                    kind: AccessKind::Read,
-                    lane_addrs,
-                };
-                event.apply_counters(env.counters);
-                env.hook.mem_access(self.warp_ref, &event);
+                env.batch.finish_event(env.counters);
             }
         }
         Ok(())

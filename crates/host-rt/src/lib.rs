@@ -226,14 +226,32 @@ const _: () = {
 pub struct AllocTable {
     /// `(base, size, id)` sorted by base.
     ranges: Vec<(u64, u64, AllocId)>,
+    /// Index of the most recently resolved range. Warp lanes resolve runs
+    /// of addresses inside one buffer, so checking this entry first skips
+    /// the binary search for most lanes. Sound under shared (`&self`)
+    /// access: the table lives in an `Rc<RefCell<…>>` on one thread.
+    hot: std::cell::Cell<usize>,
 }
 
 impl AllocTable {
     /// Resolves a raw global address to `(allocation, offset)`.
     pub fn resolve(&self, addr: u64) -> Option<(AllocId, u64)> {
-        let idx = self.ranges.partition_point(|&(base, _, _)| base <= addr);
-        let &(base, size, id) = self.ranges.get(idx.checked_sub(1)?)?;
-        (addr < base + size).then_some((id, addr - base))
+        if let Some(&(base, size, id)) = self.ranges.get(self.hot.get()) {
+            if addr >= base && addr - base < size {
+                return Some((id, addr - base));
+            }
+        }
+        let idx = self
+            .ranges
+            .partition_point(|&(base, _, _)| base <= addr)
+            .checked_sub(1)?;
+        let &(base, size, id) = &self.ranges[idx];
+        if addr - base < size {
+            self.hot.set(idx);
+            Some((id, addr - base))
+        } else {
+            None
+        }
     }
 
     fn insert(&mut self, base: u64, size: u64, id: AllocId) {
@@ -243,6 +261,8 @@ impl AllocTable {
 
     fn remove(&mut self, base: u64) {
         self.ranges.retain(|&(b, _, _)| b != base);
+        // Indices may have shifted; drop the stale hot entry.
+        self.hot.set(0);
     }
 
     /// Number of live allocations in the table.

@@ -4,10 +4,21 @@
 //! address offsets on the x-axis and the access counts on the y-axis. A
 //! [`Histogram`] is that structure: a map from an integer-valued feature
 //! (address offset, transition id, invocation count, …) to a count.
+//!
+//! Storage is the hybrid append/sorted layout of [`crate::pairtable`]:
+//! `record` lands in a fixed append buffer, reads see the sorted,
+//! coalesced bins (the *sorted-on-read* invariant), and the running total
+//! is maintained on write so [`Histogram::total`] is O(1). Call
+//! [`Histogram::normalize`] after a write burst to make subsequent reads
+//! allocation-free; `AdcfgBuilder::finish` does this for every histogram
+//! it produced.
 
+use crate::pairtable::PairTable;
 use crate::samples::WeightedSamples;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::de::DeError;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A histogram over `u64` feature values with `u64` counts.
 ///
@@ -23,9 +34,9 @@ use std::collections::BTreeMap;
 /// assert_eq!(h.count(0x10), 3);
 /// assert_eq!(h.total(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct Histogram {
-    bins: BTreeMap<u64, u64>,
+    bins: PairTable<u64>,
 }
 
 impl Histogram {
@@ -35,25 +46,25 @@ impl Histogram {
     }
 
     /// Adds `count` observations of `value`.
+    #[inline]
     pub fn record(&mut self, value: u64, count: u64) {
-        if count > 0 {
-            *self.bins.entry(value).or_insert(0) += count;
-        }
+        self.bins.record(value, count);
     }
 
     /// The count recorded for `value` (zero when absent).
     pub fn count(&self, value: u64) -> u64 {
-        self.bins.get(&value).copied().unwrap_or(0)
+        self.bins.get(value)
     }
 
     /// The number of distinct values observed.
     pub fn distinct(&self) -> usize {
-        self.bins.len()
+        self.bins.distinct()
     }
 
-    /// The total number of observations.
+    /// The total number of observations (maintained on write; O(1)).
+    #[inline]
     pub fn total(&self) -> u64 {
-        self.bins.values().sum()
+        self.bins.total()
     }
 
     /// `true` when nothing has been recorded.
@@ -63,7 +74,7 @@ impl Histogram {
 
     /// Iterates over `(value, count)` bins in increasing value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.bins.iter().map(|(&v, &c)| (v, c))
+        self.bins.iter()
     }
 
     /// Merges another histogram into this one, summing counts per bin.
@@ -71,22 +82,79 @@ impl Histogram {
     /// This is the aggregation step used when folding warp observations into
     /// an A-DCFG node and when merging repeated runs into evidence.
     pub fn merge(&mut self, other: &Histogram) {
-        for (v, c) in other.iter() {
-            self.record(v, c);
-        }
+        self.bins.merge(&other.bins);
+    }
+
+    /// Folds buffered writes into the sorted bins so later reads borrow
+    /// instead of allocating. Purely an optimisation: observable state is
+    /// identical before and after.
+    pub fn normalize(&mut self) {
+        self.bins.normalize();
+    }
+
+    /// Multiplies every bin count by `k` — bit-identical to merging this
+    /// histogram `k` times into an empty one.
+    pub fn scale(&mut self, k: u64) {
+        self.bins.scale(k);
     }
 
     /// Converts the histogram into weighted samples for distribution tests.
     pub fn to_samples(&self) -> WeightedSamples {
-        WeightedSamples::from_pairs(self.iter().map(|(v, c)| (v as f64, c)))
+        // Bins iterate sorted by value, and `u64 → f64` is monotonic, so
+        // the sorted fast path applies (it re-coalesces the rare distinct
+        // bins that collapse to one f64 above 2^53).
+        WeightedSamples::from_sorted_pairs(self.iter().map(|(v, c)| (v as f64, c)))
     }
 
     /// An estimate of the in-memory footprint of this histogram in bytes,
     /// used by the Fig. 5 trace-size experiment.
     pub fn size_bytes(&self) -> usize {
-        // Each bin stores a (u64, u64) pair; the BTreeMap node overhead is
-        // amortised into a constant factor that matches the serialized form.
-        self.bins.len() * 16
+        // Each bin stores a (u64, u64) pair; storage overhead is amortised
+        // into a constant factor that matches the serialized form.
+        self.distinct() * 16
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bins", &self.bins.snapshot())
+            .finish()
+    }
+}
+
+impl Hash for Histogram {
+    /// Bit-compatible with the previous `BTreeMap`-backed derive, so trace
+    /// digests computed over histograms are unchanged.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.bins.hash(state);
+    }
+}
+
+impl Serialize for Histogram {
+    /// Serialises exactly like the previous derived form:
+    /// `{"bins": {value: count, ...}}` with bins in increasing value order.
+    fn to_value(&self) -> Value {
+        let bins = self
+            .bins
+            .snapshot()
+            .iter()
+            .map(|&(v, c)| (v.to_value(), c.to_value()))
+            .collect();
+        Value::Map(vec![(Value::Str("bins".into()), Value::Map(bins))])
+    }
+}
+
+impl<'de> Deserialize<'de> for Histogram {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = serde::__private::expect_map(value, "Histogram")?;
+        let bins = serde::__private::map_field(entries, "bins")?;
+        // Accepts the map form `{"bins": {v: c}}`; JSON round-trips turn
+        // integer keys into strings, which u64::from_value parses back.
+        let map = std::collections::BTreeMap::<u64, u64>::from_value(bins)?;
+        Ok(Histogram {
+            bins: PairTable::from_sorted_pairs(map.into_iter().collect()),
+        })
     }
 }
 
@@ -167,5 +235,35 @@ mod tests {
         let h: Histogram = [(9, 1), (1, 1), (5, 1)].into_iter().collect();
         let values: Vec<u64> = h.iter().map(|(v, _)| v).collect();
         assert_eq!(values, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn normalize_preserves_observable_state() {
+        let mut buffered: Histogram = (0..50).map(|i| (i % 13, 1 + i % 3)).collect();
+        let mut normalized = buffered.clone();
+        normalized.normalize();
+        assert_eq!(buffered, normalized);
+        assert_eq!(
+            buffered.iter().collect::<Vec<_>>(),
+            normalized.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            serde_json::to_string(&buffered).unwrap(),
+            serde_json::to_string(&normalized).unwrap()
+        );
+        buffered.normalize();
+        assert_eq!(buffered, normalized);
+    }
+
+    #[test]
+    fn serde_bytes_match_btreemap_form() {
+        let h: Histogram = [(2, 7), (1, 3)].into_iter().collect();
+        assert_eq!(
+            serde_json::to_string(&h).unwrap(),
+            r#"{"bins":{"1":3,"2":7}}"#
+        );
+        let back: Histogram = serde_json::from_str(r#"{"bins":{"1":3,"2":7}}"#).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.total(), 10);
     }
 }

@@ -40,6 +40,7 @@ pub mod ecdf;
 pub mod histogram;
 pub mod ks;
 pub mod mi;
+mod pairtable;
 pub mod samples;
 pub mod transition;
 pub mod welch;

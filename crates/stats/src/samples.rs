@@ -75,6 +75,42 @@ impl WeightedSamples {
         Self::from_pairs(values.into_iter().map(|x| (x, 1)))
     }
 
+    /// Builds a sample set from pairs already sorted by non-decreasing
+    /// value — a single coalescing pass, skipping [`Self::from_pairs`]'s
+    /// sort. Histograms iterate in increasing bin order, so their
+    /// conversion (the analysis phase's hottest allocation) uses this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN; debug builds also assert sortedness.
+    pub fn from_sorted_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, u64)>,
+    {
+        let iter = pairs.into_iter();
+        let mut coalesced: Vec<(f64, u64)> = Vec::with_capacity(iter.size_hint().0);
+        let mut total = 0u64;
+        for (x, w) in iter {
+            assert!(!x.is_nan(), "NaN sample value in WeightedSamples");
+            debug_assert!(
+                coalesced.last().is_none_or(|&(prev, _)| prev <= x),
+                "from_sorted_pairs requires non-decreasing values"
+            );
+            if w == 0 {
+                continue;
+            }
+            total += w;
+            match coalesced.last_mut() {
+                Some(last) if last.0 == x => last.1 += w,
+                _ => coalesced.push((x, w)),
+            }
+        }
+        Self {
+            pairs: coalesced,
+            total,
+        }
+    }
+
     /// The distinct sample values with their multiplicities, sorted by value.
     pub fn pairs(&self) -> &[(f64, u64)] {
         &self.pairs

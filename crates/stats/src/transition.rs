@@ -10,11 +10,18 @@
 //! The first basic block of a warp trace has no predecessor and the last
 //! has no successor; the paper models these with a special boundary block,
 //! here [`BOUNDARY`].
+//!
+//! Like [`Histogram`], the matrix uses the hybrid append/sorted storage of
+//! [`crate::pairtable`]: `record` is an append, reads are sorted-on-read,
+//! and [`TransitionMatrix::executions`] is a maintained O(1) total.
 
 use crate::histogram::Histogram;
+use crate::pairtable::PairTable;
 use crate::samples::WeightedSamples;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::de::DeError;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The pseudo-block that precedes warp entry and follows warp exit.
 pub const BOUNDARY: u32 = u32::MAX;
@@ -33,32 +40,9 @@ pub const BOUNDARY: u32 = u32::MAX;
 /// t.record(1, BOUNDARY, 1);
 /// assert_eq!(t.executions(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct TransitionMatrix {
-    #[serde(with = "pair_key_map")]
-    counts: BTreeMap<(u32, u32), u64>,
-}
-
-/// Serialises tuple-keyed maps as entry lists so text formats (JSON) can
-/// represent them.
-mod pair_key_map {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::BTreeMap;
-
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(u32, u32), u64>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        map.iter().collect::<Vec<_>>().serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(u32, u32), u64>, D::Error> {
-        Ok(Vec::<((u32, u32), u64)>::deserialize(de)?
-            .into_iter()
-            .collect())
-    }
+    counts: PairTable<(u32, u32)>,
 }
 
 impl TransitionMatrix {
@@ -68,20 +52,19 @@ impl TransitionMatrix {
     }
 
     /// Adds `count` traversals of the `src → dst` transition.
+    #[inline]
     pub fn record(&mut self, src: u32, dst: u32, count: u64) {
-        if count > 0 {
-            *self.counts.entry((src, dst)).or_insert(0) += count;
-        }
+        self.counts.record((src, dst), count);
     }
 
     /// The traversal count of a specific transition.
     pub fn count(&self, src: u32, dst: u32) -> u64 {
-        self.counts.get(&(src, dst)).copied().unwrap_or(0)
+        self.counts.get((src, dst))
     }
 
     /// Iterates `((src, dst), count)` in key order.
     pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
-        self.counts.iter().map(|(&k, &c)| (k, c))
+        self.counts.iter()
     }
 
     /// `true` when no transition has been recorded.
@@ -91,17 +74,18 @@ impl TransitionMatrix {
 
     /// Total number of recorded transitions originating at `src`.
     pub fn out_count(&self, src: u32) -> u64 {
-        self.counts
-            .iter()
-            .filter(|&(&(s, _), _)| s == src)
-            .map(|(_, &c)| c)
+        self.iter()
+            .filter(|&((s, _), _)| s == src)
+            .map(|(_, c)| c)
             .sum()
     }
 
     /// The number of node executions this matrix describes (eq. (5):
     /// Σ x_i = n). Each execution contributes exactly one `(src, dst)` pair.
+    /// Maintained on write; O(1).
+    #[inline]
     pub fn executions(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.total()
     }
 
     /// The feasible transition-matrix entry `a_{src,dst}`: the conditional
@@ -109,12 +93,7 @@ impl TransitionMatrix {
     ///
     /// Returns `None` when `src` was never an arrival source.
     pub fn conditional(&self, src: u32, dst: u32) -> Option<f64> {
-        let row: u64 = self
-            .counts
-            .iter()
-            .filter(|&(&(s, _), _)| s == src)
-            .map(|(_, &c)| c)
-            .sum();
+        let row = self.out_count(src);
         (row > 0).then(|| self.count(src, dst) as f64 / row as f64)
     }
 
@@ -122,9 +101,19 @@ impl TransitionMatrix {
     /// when overlaying warps onto one A-DCFG node and when merging repeated
     /// runs into evidence.
     pub fn merge(&mut self, other: &TransitionMatrix) {
-        for ((s, d), c) in other.iter() {
-            self.record(s, d, c);
-        }
+        self.counts.merge(&other.counts);
+    }
+
+    /// Folds buffered writes into the sorted entries so later reads borrow
+    /// instead of allocating. Observable state is unchanged.
+    pub fn normalize(&mut self) {
+        self.counts.normalize();
+    }
+
+    /// Multiplies every traversal count by `k` — bit-identical to merging
+    /// this matrix `k` times into an empty one.
+    pub fn scale(&mut self, k: u64) {
+        self.counts.scale(k);
     }
 
     /// Flattens the matrix into the `H_cf` histogram (eq. (8)): one bin per
@@ -143,7 +132,58 @@ impl TransitionMatrix {
 
     /// An estimate of the in-memory footprint in bytes (Fig. 5 accounting).
     pub fn size_bytes(&self) -> usize {
-        self.counts.len() * 16
+        self.counts.distinct() * 16
+    }
+}
+
+impl fmt::Debug for TransitionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransitionMatrix")
+            .field("counts", &self.counts.snapshot())
+            .finish()
+    }
+}
+
+impl Hash for TransitionMatrix {
+    /// Bit-compatible with the previous `BTreeMap`-backed derive.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.counts.hash(state);
+    }
+}
+
+impl Serialize for TransitionMatrix {
+    /// Serialises exactly like the previous `pair_key_map` form: an entry
+    /// list `{"counts": [[[src, dst], count], ...]}` in key order (tuple
+    /// keys cannot be JSON object keys).
+    fn to_value(&self) -> Value {
+        let entries = self
+            .counts
+            .snapshot()
+            .iter()
+            .map(|&((s, d), c)| {
+                Value::Seq(vec![
+                    Value::Seq(vec![s.to_value(), d.to_value()]),
+                    c.to_value(),
+                ])
+            })
+            .collect();
+        Value::Map(vec![(Value::Str("counts".into()), Value::Seq(entries))])
+    }
+}
+
+impl<'de> Deserialize<'de> for TransitionMatrix {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = serde::__private::expect_map(value, "TransitionMatrix")?;
+        let counts = serde::__private::map_field(entries, "counts")?;
+        let pairs = Vec::<((u32, u32), u64)>::from_value(counts)?;
+        // Entry lists written by us are sorted and unique, but accept any
+        // order by rebuilding through the table's own normalisation.
+        let mut table = PairTable::new();
+        for (key, count) in pairs {
+            table.record(key, count);
+        }
+        table.normalize();
+        Ok(TransitionMatrix { counts: table })
     }
 }
 
@@ -249,5 +289,20 @@ mod tests {
         t.record(BOUNDARY, 7, 3);
         t.record(7, BOUNDARY, 1);
         assert_eq!(t.executions(), 4);
+    }
+
+    #[test]
+    fn serde_bytes_match_entry_list_form() {
+        let mut t = TransitionMatrix::new();
+        t.record(1, 2, 3);
+        t.record(BOUNDARY, 1, 5);
+        assert_eq!(
+            serde_json::to_string(&t).unwrap(),
+            r#"{"counts":[[[1,2],3],[[4294967295,1],5]]}"#
+        );
+        let back: TransitionMatrix =
+            serde_json::from_str(r#"{"counts":[[[1,2],3],[[4294967295,1],5]]}"#).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.executions(), 8);
     }
 }

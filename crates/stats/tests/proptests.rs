@@ -1,7 +1,52 @@
 //! Property-based tests for the statistical core.
 
-use owl_stats::{ks_two_sample, welch_t_test, Ecdf, Histogram, WeightedSamples};
+use owl_stats::{ks_two_sample, welch_t_test, Ecdf, Histogram, TransitionMatrix, WeightedSamples};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+
+/// The naive reference model for both hybrid tables: a `BTreeMap` that
+/// drops zero-count records, exactly like the pre-hybrid storage did.
+fn model_of<K: Ord + Copy>(ops: &[(K, u64)]) -> BTreeMap<K, u64> {
+    let mut m = BTreeMap::new();
+    for &(k, c) in ops {
+        if c > 0 {
+            *m.entry(k).or_insert(0) += c;
+        }
+    }
+    m
+}
+
+/// Hashes a value with one fixed `RandomState`, so two observationally
+/// equal values must collide. The model comparison relies on the hybrid
+/// tables' documented bit-compatibility with a derived `BTreeMap` hash.
+fn hash_pair<A: Hash, B: Hash>(s: &RandomState, a: &A, b: &B) -> (u64, u64) {
+    (s.hash_one(a), s.hash_one(b))
+}
+
+/// Builds a histogram from `ops`, normalising mid-stream at `split` to
+/// exercise the buffered→sorted fold on a half-built table.
+fn build_hist(ops: &[(u64, u64)], split: usize) -> Histogram {
+    let mut h = Histogram::new();
+    for (i, &(v, c)) in ops.iter().enumerate() {
+        if i == split {
+            h.normalize();
+        }
+        h.record(v, c);
+    }
+    h
+}
+
+fn build_matrix(ops: &[((u32, u32), u64)], split: usize) -> TransitionMatrix {
+    let mut t = TransitionMatrix::new();
+    for (i, &((s, d), c)) in ops.iter().enumerate() {
+        if i == split {
+            t.normalize();
+        }
+        t.record(s, d, c);
+    }
+    t
+}
 
 fn arb_samples() -> impl Strategy<Value = WeightedSamples> {
     prop::collection::vec((-1_000i64..1_000, 1u64..20), 1..64)
@@ -76,6 +121,119 @@ proptest! {
             prop_assert!((xy.statistic + yx.statistic).abs() < 1e-9);
         }
         prop_assert_eq!(xy.rejected, yx.rejected);
+    }
+
+    /// The hybrid-storage `Histogram` is observationally identical to the
+    /// naive `BTreeMap` model: iteration order, point lookups, totals,
+    /// serde bytes, and `Hash`, at every buffered/normalised state.
+    #[test]
+    fn histogram_matches_btreemap_model(
+        ops in prop::collection::vec((0u64..48, 0u64..6), 0..80),
+        split in 0usize..80,
+        rot in 0usize..80,
+    ) {
+        let model = model_of(&ops);
+        let h = build_hist(&ops, split);
+
+        // Iteration order and content.
+        prop_assert_eq!(
+            h.iter().collect::<Vec<_>>(),
+            model.iter().map(|(&v, &c)| (v, c)).collect::<Vec<_>>()
+        );
+        // Point lookups, including absent keys; maintained aggregates.
+        for v in 0..48 {
+            prop_assert_eq!(h.count(v), model.get(&v).copied().unwrap_or(0));
+        }
+        prop_assert_eq!(h.total(), model.values().sum::<u64>());
+        prop_assert_eq!(h.distinct(), model.len());
+
+        // Serde bytes equal the model's map form, key order and all.
+        let expected_json = format!(
+            "{{\"bins\":{{{}}}}}",
+            model.iter().map(|(v, c)| format!("\"{v}\":{c}"))
+                .collect::<Vec<_>>().join(",")
+        );
+        prop_assert_eq!(serde_json::to_string(&h).unwrap(), expected_json);
+
+        // Hash is bit-compatible with hashing the model map directly (the
+        // previous representation was a single derived `BTreeMap` field),
+        // and insensitive to insertion order and normalisation state.
+        let state = RandomState::new();
+        let (hh, hm) = hash_pair(&state, &h, &model);
+        prop_assert_eq!(hh, hm);
+        let rot = rot.min(ops.len());
+        let mut rotated = ops.clone();
+        rotated.rotate_left(rot);
+        let h2 = build_hist(&rotated, usize::MAX);
+        prop_assert_eq!(&h, &h2);
+        let (ha, hb) = hash_pair(&state, &h, &h2);
+        prop_assert_eq!(ha, hb);
+    }
+
+    /// Merging two hybrid histograms equals merging their models.
+    #[test]
+    fn histogram_merge_matches_btreemap_model(
+        ops in prop::collection::vec((0u64..48, 0u64..6), 0..80),
+        cut in 0usize..80,
+        split in 0usize..80,
+    ) {
+        let cut = cut.min(ops.len());
+        let mut merged = build_hist(&ops[..cut], split);
+        merged.merge(&build_hist(&ops[cut..], split / 2));
+        prop_assert_eq!(
+            merged.iter().collect::<Vec<_>>(),
+            model_of(&ops).iter().map(|(&v, &c)| (v, c)).collect::<Vec<_>>()
+        );
+    }
+
+    /// The hybrid-storage `TransitionMatrix` is observationally identical
+    /// to the naive `BTreeMap<(u32, u32), u64>` model, including its
+    /// entry-list serde form and the maintained `executions` total.
+    #[test]
+    fn transition_matrix_matches_btreemap_model(
+        ops in prop::collection::vec(((0u32..6, 0u32..6), 0u64..6), 0..80),
+        split in 0usize..80,
+        cut in 0usize..80,
+    ) {
+        let model = model_of(&ops);
+        let t = build_matrix(&ops, split);
+
+        prop_assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            model.iter().map(|(&k, &c)| (k, c)).collect::<Vec<_>>()
+        );
+        for s in 0..6 {
+            for d in 0..6 {
+                prop_assert_eq!(t.count(s, d), model.get(&(s, d)).copied().unwrap_or(0));
+            }
+        }
+        prop_assert_eq!(t.executions(), model.values().sum::<u64>());
+
+        // Serde bytes equal the model's entry-list form.
+        let expected_json = format!(
+            "{{\"counts\":[{}]}}",
+            model.iter().map(|(&(s, d), c)| format!("[[{s},{d}],{c}]"))
+                .collect::<Vec<_>>().join(",")
+        );
+        prop_assert_eq!(serde_json::to_string(&t).unwrap(), expected_json.clone());
+        let back: TransitionMatrix = serde_json::from_str(&expected_json).unwrap();
+        prop_assert_eq!(&back, &t);
+
+        // Hash is bit-compatible with the model map and agrees across
+        // normalisation states.
+        let state = RandomState::new();
+        let (ht, hm) = hash_pair(&state, &t, &model);
+        prop_assert_eq!(ht, hm);
+        let mut normalized = t.clone();
+        normalized.normalize();
+        let (ha, hb) = hash_pair(&state, &t, &normalized);
+        prop_assert_eq!(ha, hb);
+
+        // Merge of a split build equals the whole-model build.
+        let cut = cut.min(ops.len());
+        let mut merged = build_matrix(&ops[..cut], split);
+        merged.merge(&build_matrix(&ops[cut..], split / 2));
+        prop_assert_eq!(&merged, &t);
     }
 
     /// `eval` agrees with the brute-force definition of the ECDF.

@@ -243,6 +243,10 @@ impl TracedProgram for AesTTable {
         let v = seeded_bytes(seed ^ 0xA15, 16);
         v.try_into().expect("16 bytes requested")
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 /// The constant-access-pattern AES variant: every lookup scans the whole
@@ -297,6 +301,10 @@ impl TracedProgram for AesScan {
     fn random_input(&self, seed: u64) -> Self::Input {
         let v = seeded_bytes(seed ^ 0x5CA4, 16);
         v.try_into().expect("16 bytes requested")
+    }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
     }
 }
 

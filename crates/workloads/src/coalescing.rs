@@ -90,6 +90,10 @@ impl TracedProgram for CoalescingStride {
         // An odd stride in 1..N.
         (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) % (N as u64 / 2)) * 2 + 1
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 #[cfg(test)]

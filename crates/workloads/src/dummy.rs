@@ -113,6 +113,10 @@ impl TracedProgram for DummySbox {
                 .expect("8 bytes"),
         ) | 1
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 /// A program whose memory behaviour is random per *run*, not per input:
@@ -172,6 +176,13 @@ impl TracedProgram for NoiseDummy {
 
     fn random_input(&self, seed: u64) -> u64 {
         seed
+    }
+
+    /// The per-run nonce makes `run` impure: fixed-input runs differ, and
+    /// the detector must re-record each one so the noise reaches both
+    /// evidence sets and is dismissed as input-independent.
+    fn deterministic_host(&self) -> bool {
+        false
     }
 }
 

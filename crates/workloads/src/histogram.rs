@@ -129,6 +129,10 @@ impl TracedProgram for HistogramDirect {
     fn random_input(&self, seed: u64) -> Vec<u8> {
         seeded_bytes(seed ^ 0x415, self.0.elems)
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 /// The oblivious histogram: every bin touched per element, branch-free.
@@ -167,6 +171,10 @@ impl TracedProgram for HistogramOblivious {
 
     fn random_input(&self, seed: u64) -> Vec<u8> {
         seeded_bytes(seed ^ 0x0B11, self.0.elems)
+    }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
     }
 }
 

@@ -322,6 +322,10 @@ impl TracedProgram for JpegEncode {
     fn random_input(&self, seed: u64) -> Vec<u8> {
         synthetic_image(seed, self.h, self.w)
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 /// The countermeasure encoder: DCT + quantisation followed by
@@ -404,6 +408,10 @@ impl TracedProgram for JpegEncodeFixedLength {
 
     fn random_input(&self, seed: u64) -> Vec<u8> {
         synthetic_image(seed, self.h, self.w)
+    }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
     }
 }
 
@@ -501,6 +509,10 @@ impl TracedProgram for JpegDecode {
             }
         }
         out
+    }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
     }
 }
 

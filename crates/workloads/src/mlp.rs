@@ -165,6 +165,10 @@ impl TracedProgram for MlpHiddenWidth {
     fn random_input(&self, seed: u64) -> usize {
         WIDTHS[(seed as usize).wrapping_mul(2654435761) % WIDTHS.len()]
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 #[cfg(test)]

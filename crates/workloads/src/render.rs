@@ -145,6 +145,10 @@ impl TracedProgram for GlyphRender {
             .map(|_| r.gen_range(0..GLYPHS as u8))
             .collect()
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,10 @@ impl TracedProgram for RsaSquareMultiply {
     fn random_input(&self, seed: u64) -> u64 {
         random_exponent(seed)
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 /// The constant-flow Montgomery-ladder modexp — the negative control.
@@ -223,6 +227,10 @@ impl TracedProgram for RsaLadder {
 
     fn random_input(&self, seed: u64) -> u64 {
         random_exponent(seed)
+    }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
     }
 }
 

@@ -184,6 +184,10 @@ impl TracedProgram for BinarySearchEarlyExit {
     fn random_input(&self, seed: u64) -> u64 {
         self.0.random_key(seed)
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 /// Fixed-depth branch-free binary search (CF clean, DF still leaky).
@@ -222,6 +226,10 @@ impl TracedProgram for BinarySearchFixedDepth {
 
     fn random_input(&self, seed: u64) -> u64 {
         self.0.random_key(seed)
+    }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
     }
 }
 

@@ -414,6 +414,10 @@ impl TracedProgram for TorchFunction {
             _ => TorchInput::Tensor(Tensor::random([VEC_N], seed ^ 0x7e5, -1.0, 1.0)),
         }
     }
+
+    fn deterministic_host(&self) -> bool {
+        true // audited: `run` has no per-run host state
+    }
 }
 
 #[cfg(test)]

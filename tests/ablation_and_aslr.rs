@@ -18,8 +18,8 @@ fn trace_with_addr(addr: u64) -> ProgramTrace {
     b.enter_block(0, 0);
     b.record_access(0, 0, [addr]);
     ProgramTrace {
-        invocations: vec![KernelInvocation {
-            key: InvocationKey {
+        invocations: vec![KernelInvocation::new(
+            InvocationKey {
                 call_site: CallSite {
                     file: "f.rs",
                     line: 1,
@@ -27,9 +27,9 @@ fn trace_with_addr(addr: u64) -> ProgramTrace {
                 },
                 kernel: "k".into(),
             },
-            config: ((1, 1, 1), (32, 1, 1)),
-            adcfg: b.finish(),
-        }],
+            ((1, 1, 1), (32, 1, 1)),
+            b.finish(),
+        )],
         mallocs: vec![],
     }
 }

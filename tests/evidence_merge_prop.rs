@@ -30,11 +30,7 @@ fn invocation(line: u32, kernel: &str, addr: u64) -> KernelInvocation {
     b.enter_block(0, 0);
     b.record_access(0, 0, [addr]);
     b.enter_block(0, 1 + (addr % 3) as u32);
-    KernelInvocation {
-        key: key(line, kernel),
-        config: ((1, 1, 1), (32, 1, 1)),
-        adcfg: b.finish(),
-    }
+    KernelInvocation::new(key(line, kernel), ((1, 1, 1), (32, 1, 1)), b.finish())
 }
 
 /// One run: backbone kernels `k0..k3` always, optional kernel `opt{i}`

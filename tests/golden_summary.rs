@@ -1,0 +1,59 @@
+//! Golden-fixture regression for the machine-readable detection summary.
+//!
+//! The hot-path overhaul (batched event recording, hybrid histogram
+//! storage, lowered kernel IR, cached trace digests) must not change a
+//! single observable byte: the pretty-printed [`DetectionSummary`] for a
+//! fixed workload is pinned to a checked-in fixture. Regenerate with
+//!
+//! ```sh
+//! OWL_REGEN_GOLDEN=1 cargo test --test golden_summary
+//! ```
+//!
+//! and inspect the diff — any change here is a determinism-contract break
+//! until proven otherwise.
+
+use owl::core::{detect, DetectionSummary, OwlConfig};
+use owl::workloads::aes::AesTTable;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/aes_ttable_summary.json")
+}
+
+fn summary_json() -> String {
+    let config = OwlConfig {
+        runs: 10,
+        parallelism: 2,
+        aslr_seed: Some(0xA51A),
+        force_analysis: true,
+        ..OwlConfig::default()
+    };
+    let aes = AesTTable::new(32);
+    let keys = [[0u8; 16], [0xffu8; 16], *b"owl-sca-detector"];
+    let detection = detect(&aes, &keys, &config).expect("detection");
+    let summary = DetectionSummary::new("aes-ttable", &detection, &config);
+    let mut json = serde_json::to_string_pretty(&summary).expect("json");
+    json.push('\n');
+    json
+}
+
+#[test]
+fn detection_summary_matches_golden_fixture() {
+    let path = golden_path();
+    let actual = summary_json();
+    if std::env::var_os("OWL_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with OWL_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "detection summary drifted from the golden fixture; if the change \
+         is intentional, regenerate with OWL_REGEN_GOLDEN=1 and justify the \
+         diff in the PR"
+    );
+}
