@@ -1,6 +1,72 @@
-//! Detector errors.
+//! Detector errors, with the run context that locates a failure.
 
 use owl_host::HostError;
+
+/// The detector phase a run belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DetectPhase {
+    /// Phase 1 — one recording per user input.
+    TraceCollection,
+    /// Phase 3 — fixed/random evidence recording.
+    Evidence,
+    /// The distribution tests (no program code runs here; only worker
+    /// panics can occur).
+    Analysis,
+}
+
+impl DetectPhase {
+    /// The phase's stable machine-readable name (matches the span names
+    /// the detector records).
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectPhase::TraceCollection => "trace_collection",
+            DetectPhase::Evidence => "evidence",
+            DetectPhase::Analysis => "analysis",
+        }
+    }
+}
+
+impl std::fmt::Display for DetectPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a failed run sat in the detection: which phase, which recording
+/// stream, which run, and which retry attempt — everything needed to name
+/// the failure and to reproduce it (runs are pure functions of their
+/// [`RunSpec`](crate::record::RunSpec)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunContext {
+    /// The detector phase.
+    pub phase: DetectPhase,
+    /// The evidence class the run recorded for (`None` for phase-1 runs
+    /// and the shared random evidence).
+    pub class: Option<usize>,
+    /// The recording stream.
+    pub stream: u64,
+    /// The run's index within its stream.
+    pub run_index: u64,
+    /// The retry attempt the error belongs to (0 = first try).
+    pub attempt: u32,
+}
+
+impl std::fmt::Display for RunContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase {}, stream {}, run {}",
+            self.phase, self.stream, self.run_index
+        )?;
+        if let Some(class) = self.class {
+            write!(f, ", class {class}")?;
+        }
+        if self.attempt > 0 {
+            write!(f, ", attempt {}", self.attempt)?;
+        }
+        Ok(())
+    }
+}
 
 /// An error raised while recording traces or running detection.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +83,81 @@ pub enum DetectError {
     },
     /// Detection was asked to run with no user inputs.
     NoInputs,
+    /// A worker panicked; the unwind was caught at the work-item boundary
+    /// and converted into this typed, deterministic failure instead of
+    /// aborting the fan-out.
+    WorkerPanic {
+        /// The panic payload, rendered (`&str`/`String` payloads verbatim,
+        /// anything else a fixed placeholder).
+        message: String,
+    },
+    /// An error bundled with the run it struck — says *which* run failed,
+    /// not just what the program printed.
+    Run {
+        /// The failed run's identity.
+        context: RunContext,
+        /// The underlying failure.
+        source: Box<DetectError>,
+    },
+}
+
+impl DetectError {
+    /// Wraps the error with the run it struck. A [`DetectError::Run`]
+    /// wrapper is re-contextualised rather than nested.
+    #[must_use]
+    pub fn with_context(self, context: RunContext) -> DetectError {
+        match self {
+            DetectError::Run { source, .. } => DetectError::Run { context, source },
+            other => DetectError::Run {
+                context,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The run context, when the error carries one.
+    pub fn context(&self) -> Option<&RunContext> {
+        match self {
+            DetectError::Run { context, .. } => Some(context),
+            _ => None,
+        }
+    }
+
+    /// The innermost error, with any [`DetectError::Run`] wrapper peeled
+    /// off.
+    pub fn root(&self) -> &DetectError {
+        match self {
+            DetectError::Run { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// A stable snake_case tag naming the failure, drilling through the
+    /// host/exec layers — the key fault logs and retry classifiers switch
+    /// on.
+    pub fn kind(&self) -> &'static str {
+        use owl_gpu::ExecError;
+        match self {
+            DetectError::Host(HostError::Memcpy(_)) => "host_memcpy",
+            DetectError::Host(HostError::InvalidFree { .. }) => "host_invalid_free",
+            DetectError::Host(HostError::Launch(e)) => match e {
+                ExecError::InvalidProgram(_) => "exec_invalid_program",
+                ExecError::Memory { .. } => "exec_memory",
+                ExecError::DivisionByZero { .. } => "exec_division_by_zero",
+                ExecError::ParamOutOfRange { .. } => "exec_param_out_of_range",
+                ExecError::BarrierDivergence { .. } => "exec_barrier_divergence",
+                ExecError::BarrierDeadlock => "exec_barrier_deadlock",
+                ExecError::FuelExhausted => "exec_fuel_exhausted",
+                ExecError::EmptyLaunch => "exec_empty_launch",
+                ExecError::InvalidWarpSize { .. } => "exec_invalid_warp_size",
+                ExecError::UnboundTexture { .. } => "exec_unbound_texture",
+            },
+            DetectError::TraceMismatch { .. } => "trace_mismatch",
+            DetectError::NoInputs => "no_inputs",
+            DetectError::WorkerPanic { .. } => "worker_panic",
+            DetectError::Run { source, .. } => source.kind(),
+        }
+    }
 }
 
 impl std::fmt::Display for DetectError {
@@ -28,6 +169,8 @@ impl std::fmt::Display for DetectError {
                 "instrumentation mismatch: {launches} host launches vs {graphs} device graphs"
             ),
             DetectError::NoInputs => write!(f, "detection requires at least one user input"),
+            DetectError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
+            DetectError::Run { context, source } => write!(f, "run failed [{context}]: {source}"),
         }
     }
 }
@@ -36,6 +179,7 @@ impl std::error::Error for DetectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DetectError::Host(e) => Some(e),
+            DetectError::Run { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -44,5 +188,77 @@ impl std::error::Error for DetectError {
 impl From<HostError> for DetectError {
     fn from(e: HostError) -> Self {
         DetectError::Host(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_gpu::ExecError;
+
+    fn ctx() -> RunContext {
+        RunContext {
+            phase: DetectPhase::Evidence,
+            class: Some(2),
+            stream: 4,
+            run_index: 17,
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn contextual_display_names_the_run() {
+        let e = DetectError::Host(HostError::Launch(ExecError::FuelExhausted)).with_context(ctx());
+        let text = e.to_string();
+        assert!(text.contains("phase evidence"), "{text}");
+        assert!(text.contains("stream 4"), "{text}");
+        assert!(text.contains("run 17"), "{text}");
+        assert!(text.contains("class 2"), "{text}");
+        assert!(text.contains("attempt 1"), "{text}");
+        assert!(text.contains("instruction budget exhausted"), "{text}");
+    }
+
+    #[test]
+    fn with_context_does_not_nest() {
+        let e = DetectError::NoInputs
+            .with_context(ctx())
+            .with_context(ctx());
+        assert_eq!(e.context(), Some(&ctx()));
+        assert_eq!(e.root(), &DetectError::NoInputs);
+        match e {
+            DetectError::Run { source, .. } => assert_eq!(*source, DetectError::NoInputs),
+            other => panic!("expected Run wrapper, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable_and_drill_through_layers() {
+        let launch = |e| DetectError::Host(HostError::Launch(e));
+        assert_eq!(
+            launch(ExecError::FuelExhausted).kind(),
+            "exec_fuel_exhausted"
+        );
+        assert_eq!(
+            launch(ExecError::BarrierDeadlock)
+                .with_context(ctx())
+                .kind(),
+            "exec_barrier_deadlock"
+        );
+        assert_eq!(
+            DetectError::TraceMismatch {
+                launches: 2,
+                graphs: 1
+            }
+            .kind(),
+            "trace_mismatch"
+        );
+        assert_eq!(
+            DetectError::WorkerPanic {
+                message: "boom".into()
+            }
+            .kind(),
+            "worker_panic"
+        );
+        assert_eq!(DetectError::NoInputs.kind(), "no_inputs");
     }
 }

@@ -78,7 +78,9 @@
 pub mod analysis;
 pub mod error;
 pub mod evidence;
+pub mod fault;
 pub mod filter;
+pub mod inject;
 pub mod owl;
 mod parallel;
 pub mod program;
@@ -89,11 +91,21 @@ pub mod trace;
 pub mod tracer;
 
 pub use analysis::{leakage_test, AnalysisConfig, AnalysisConfigBuilder, TestMethod};
-pub use error::DetectError;
+pub use error::{DetectError, DetectPhase, RunContext};
 pub use evidence::Evidence;
+pub use fault::{
+    default_fault_classifier, record_run_with_retry, FaultClass, FaultClassifier, FaultLog,
+    FaultRecord, RetryPolicy, RunAttempt,
+};
 pub use filter::{filter_traces, FilterOutcome, InputClass};
-pub use owl::{detect, Detection, OwlConfig, OwlConfigBuilder, PhaseStats, Verdict};
-pub use owl_metrics::{PhaseSpan, SimCounters, Spans, SCHEMA_VERSION};
+pub use inject::{ExecFaultKind, FaultPlan, FaultRule, FaultyProgram, InjectedFault};
+pub use owl::{
+    detect, fix_stream, Detection, OwlConfig, OwlConfigBuilder, PhaseStats, Verdict, STREAM_RND,
+    STREAM_USER,
+};
+pub use owl_metrics::{
+    FaultCounters, PhaseFaultCounters, PhaseSpan, SimCounters, Spans, SCHEMA_VERSION,
+};
 pub use program::TracedProgram;
 pub use record::{record_run, record_run_metered, record_trace, record_trace_on, RunSpec};
 pub use report::{Leak, LeakKind, LeakLocation, LeakReport};

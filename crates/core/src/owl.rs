@@ -1,22 +1,23 @@
 //! The Owl detector: the three phases end to end.
 
 use crate::analysis::{leakage_test, AnalysisConfig, TestMethod};
-use crate::error::DetectError;
+use crate::error::{DetectError, DetectPhase, RunContext};
 use crate::evidence::Evidence;
+use crate::fault::{record_run_with_retry, FaultLog, FaultRecord, RetryPolicy, RunAttempt};
 use crate::filter::{filter_traces, FilterOutcome};
 use crate::parallel::parallel_map;
 use crate::program::TracedProgram;
-use crate::record::{record_run_metered, RunSpec};
+use crate::record::RunSpec;
 use crate::report::LeakReport;
-use owl_metrics::{SimCounters, Spans};
+use owl_metrics::{FaultCounters, PhaseFaultCounters, SimCounters, Spans};
 use std::time::{Duration, Instant};
 
 /// Recording stream of the phase-1 user-input recordings.
-const STREAM_USER: u64 = 0;
+pub const STREAM_USER: u64 = 0;
 /// Recording stream of the shared random evidence `E_rnd`.
-const STREAM_RND: u64 = 1;
+pub const STREAM_RND: u64 = 1;
 /// Recording stream of input class `class`'s fixed evidence `E_fix`.
-fn fix_stream(class: usize) -> u64 {
+pub fn fix_stream(class: usize) -> u64 {
     2 + class as u64
 }
 
@@ -47,14 +48,26 @@ pub struct OwlConfig {
     /// When set, every recording runs on a device with simulated ASLR
     /// derived from this seed (a *different* layout per run), exercising
     /// the tracer's address normalisation end to end. Each run's layout is
-    /// a pure function of `(aslr_seed, stream, run_index)`, never of
-    /// recording order.
+    /// a pure function of `(aslr_seed, stream, run_index, attempt)`, never
+    /// of recording order.
     pub aslr_seed: Option<u64>,
     /// Worker threads for the recording and analysis fan-out. Defaults to
     /// the number of available cores; `1` keeps everything inline on the
     /// calling thread. Results are bit-identical for every value — the
     /// evidence merge tree depends only on the run count.
     pub parallelism: usize,
+    /// Retry policy for failed recordings. Each attempt re-records the run
+    /// with the attempt index folded into its [`RunSpec`], so retries stay
+    /// pure functions of their spec and the determinism contract holds.
+    /// Runs that exhaust the budget are quarantined into the detection's
+    /// [`FaultLog`] instead of aborting.
+    pub retry: RetryPolicy,
+    /// Minimum surviving runs per evidence set (the shared `E_rnd` and each
+    /// class's `E_fix`) for the distribution tests to be trusted. Sets that
+    /// fall below the quorum make the verdict [`Verdict::Inconclusive`]
+    /// rather than silently under-powered. `None` = half the configured
+    /// runs (at least 2, never more than `runs`).
+    pub min_runs_per_set: Option<usize>,
 }
 
 impl Default for OwlConfig {
@@ -70,6 +83,8 @@ impl Default for OwlConfig {
             parallelism: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            retry: RetryPolicy::default(),
+            min_runs_per_set: None,
         }
     }
 }
@@ -80,6 +95,14 @@ impl OwlConfig {
     /// construction via [`Default`] keeps working.
     pub fn builder() -> OwlConfigBuilder {
         OwlConfigBuilder::default()
+    }
+
+    /// The effective per-set quorum: [`OwlConfig::min_runs_per_set`], or
+    /// half the configured runs (at least 2), capped at `runs`.
+    pub fn quorum(&self) -> usize {
+        self.min_runs_per_set
+            .unwrap_or((self.runs / 2).max(2))
+            .min(self.runs)
     }
 }
 
@@ -139,6 +162,18 @@ impl OwlConfigBuilder {
         self
     }
 
+    /// Retry policy for failed recordings.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Minimum surviving runs per evidence set.
+    pub fn min_runs_per_set(mut self, quorum: usize) -> Self {
+        self.config.min_runs_per_set = Some(quorum);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> OwlConfig {
         self.config
@@ -183,6 +218,14 @@ pub enum Verdict {
     NoInputDependence,
     /// Input-dependent leaks were found.
     Leaky,
+    /// The detection completed but lost too many runs to quarantine to
+    /// certify a clean result: user inputs went unrecorded, an evidence
+    /// set fell below the [quorum](OwlConfig::min_runs_per_set), or a
+    /// class's distribution test was lost to a panic. Never silently
+    /// reported as clean — consult the [`FaultLog`]. (Leaks found on the
+    /// surviving evidence still yield [`Verdict::Leaky`]: missing data can
+    /// hide a leak, not fabricate one.)
+    Inconclusive,
 }
 
 /// The complete result of one detection.
@@ -203,6 +246,14 @@ pub struct Detection<I> {
     /// Wall-clock spans of the detector phases, in phase order.
     /// Non-deterministic by nature — excluded from any reproducible output.
     pub spans: Spans,
+    /// Every run quarantined after exhausting its retries, in run order
+    /// (phase-1 inputs, then evidence chunks, then analysis classes).
+    /// Empty on a fault-free detection.
+    pub faults: FaultLog,
+    /// Per-phase fault counters (retries, quarantines, caught panics).
+    /// All-zero on a fault-free detection; merged associatively from
+    /// per-chunk counters, so bit-identical for every `parallelism`.
+    pub fault_counters: FaultCounters,
 }
 
 /// One evidence-phase work item: a contiguous chunk of run indices for one
@@ -218,6 +269,43 @@ struct EvidenceItem {
     end: usize,
 }
 
+/// What one evidence chunk produced: the partial evidence over its
+/// surviving runs, plus the chunk's fault accounting. Chunks never fail —
+/// faulty runs inside them are quarantined per run.
+struct ChunkOutcome {
+    partial: Evidence,
+    counters: SimCounters,
+    fault_counters: PhaseFaultCounters,
+    faults: Vec<FaultRecord>,
+    kept: usize,
+    elapsed: Duration,
+}
+
+/// Converts a phase-1 run outcome into either a kept trace or a fault
+/// record, folding its attempt counts into the phase counters.
+fn settle_attempt(
+    attempt: RunAttempt,
+    context: RunContext,
+    phase_counters: &mut PhaseFaultCounters,
+    faults: &mut FaultLog,
+) -> Option<(crate::trace::ProgramTrace, SimCounters)> {
+    attempt.count_into(phase_counters);
+    match attempt.result {
+        Ok(recorded) => Some(recorded),
+        Err(error) => {
+            faults.push(FaultRecord {
+                context: RunContext {
+                    attempt: attempt.attempts.saturating_sub(1),
+                    ..context
+                },
+                attempts: attempt.attempts,
+                error,
+            });
+            None
+        }
+    }
+}
+
 /// Runs the full Owl pipeline on `program` with the given user inputs.
 ///
 /// Phase 1 records one trace per user input; phase 2 groups them into
@@ -228,19 +316,32 @@ struct EvidenceItem {
 /// location.
 ///
 /// Recording and analysis fan out across [`OwlConfig::parallelism`] worker
-/// threads. Every recording is a pure function of its `(stream, run_index)`
-/// identity (see [`RunSpec`]), chunk boundaries depend only on the run
-/// count, and partial evidences merge in chunk order — so the returned
-/// report, verdict and evidence are bit-identical for every `parallelism`
-/// value. Each worker owns its simulated device and tracer end to end
-/// (they are deliberately not thread-safe); only the finished, plain-data
-/// traces cross threads.
+/// threads. Every recording is a pure function of its
+/// `(stream, run_index, attempt)` identity (see [`RunSpec`]), chunk
+/// boundaries depend only on the run count, and partial evidences merge in
+/// chunk order — so the returned report, verdict, evidence, fault log and
+/// fault counters are bit-identical for every `parallelism` value. Each
+/// worker owns its simulated device and tracer end to end (they are
+/// deliberately not thread-safe); only the finished, plain-data traces
+/// cross threads.
+///
+/// # Fault tolerance
+///
+/// A failing run no longer aborts the detection. Each recording retries
+/// under [`OwlConfig::retry`] (every attempt a pure function of its spec);
+/// runs that exhaust the budget are *quarantined* into
+/// [`Detection::faults`] and excluded from the evidence. Worker panics are
+/// caught at the run boundary and quarantined the same way. The detection
+/// completes on the surviving evidence; a clean result is reported as
+/// [`Verdict::Inconclusive`] instead of leak-free whenever user inputs
+/// were lost, an evidence set fell below the quorum
+/// ([`OwlConfig::min_runs_per_set`]), or a class's distribution test was
+/// lost — never a silent [`Verdict::LeakFree`].
 ///
 /// # Errors
 ///
-/// Returns [`DetectError::NoInputs`] when `user_inputs` is empty, or any
-/// error from the program under test (the first error in run order, for
-/// determinism).
+/// Returns [`DetectError::NoInputs`] when `user_inputs` is empty — the one
+/// caller error left; program failures are quarantined, not returned.
 ///
 /// # Example
 ///
@@ -258,40 +359,73 @@ where
         return Err(DetectError::NoInputs);
     }
     let workers = config.parallelism.max(1);
+    let retry = config.retry;
     let spec = |stream, run_index| RunSpec {
         warp_size: config.warp_size,
         aslr_seed: config.aslr_seed,
         stream,
         run_index: run_index as u64,
+        attempt: 0,
     };
     let t_total = Instant::now();
     let mut spans = Spans::new();
     let mut counters = SimCounters::default();
+    let mut faults = FaultLog::new();
+    let mut fault_counters = FaultCounters::default();
 
     // Phase 1 + 2: record one trace per user input (fanned out, collected
     // in input order) and filter into classes. Counters merge in input
     // order; u64 addition commutes, so the totals match the serial run.
+    // Failed inputs are quarantined in input order and excluded from
+    // filtering — their loss blocks any clean verdict below.
     let t0 = Instant::now();
-    let recorded = parallel_map(workers, user_inputs.len(), |i| {
-        record_run_metered(program, &user_inputs[i], &spec(STREAM_USER, i))
-    })
-    .into_iter()
-    .collect::<Result<Vec<_>, _>>()?;
-    let mut traces = Vec::with_capacity(recorded.len());
-    for (trace, run_counters) in recorded {
-        counters.merge(&run_counters);
-        traces.push(trace);
+    let attempts = parallel_map(workers, user_inputs.len(), |i| {
+        record_run_with_retry(program, &user_inputs[i], &spec(STREAM_USER, i), &retry)
+    });
+    let mut kept_inputs = Vec::with_capacity(user_inputs.len());
+    let mut traces = Vec::with_capacity(user_inputs.len());
+    for (i, slot) in attempts.into_iter().enumerate() {
+        // The retry loop catches panics itself, so a chunk-level panic can
+        // only come from the recorder's bookkeeping; quarantine it all the
+        // same rather than crash the detection.
+        let attempt = slot.unwrap_or_else(|panic| RunAttempt {
+            result: Err(DetectError::WorkerPanic {
+                message: panic.message,
+            }),
+            attempts: 1,
+            panics: 1,
+        });
+        let context = RunContext {
+            phase: DetectPhase::TraceCollection,
+            class: None,
+            stream: STREAM_USER,
+            run_index: i as u64,
+            attempt: 0,
+        };
+        if let Some((trace, run_counters)) = settle_attempt(
+            attempt,
+            context,
+            &mut fault_counters.trace_collection,
+            &mut faults,
+        ) {
+            counters.merge(&run_counters);
+            kept_inputs.push(user_inputs[i].clone());
+            traces.push(trace);
+        }
     }
     let trace_bytes = traces.iter().map(|t| t.size_bytes()).sum::<usize>() / traces.len().max(1);
-    let filter = filter_traces(user_inputs, traces);
+    let inputs_lost = kept_inputs.len() < user_inputs.len();
+    let filter = filter_traces(&kept_inputs, traces);
     let trace_collection_time = t0.elapsed();
     spans.record("trace_collection", trace_collection_time);
 
-    if filter.single_class() && !config.force_analysis {
+    // Every input quarantined: nothing to analyse, and nothing clean to
+    // certify either.
+    if filter.classes.is_empty() {
         return Ok(Detection {
             filter,
             report: LeakReport::default(),
-            verdict: Verdict::LeakFree,
+            verdict: Verdict::Inconclusive,
             stats: PhaseStats {
                 trace_collection_time,
                 trace_bytes,
@@ -300,13 +434,41 @@ where
             },
             counters,
             spans,
+            faults,
+            fault_counters,
+        });
+    }
+
+    if filter.single_class() && !config.force_analysis {
+        // A single class is only leak-free when every input actually made
+        // it into the comparison.
+        let verdict = if inputs_lost {
+            Verdict::Inconclusive
+        } else {
+            Verdict::LeakFree
+        };
+        return Ok(Detection {
+            filter,
+            report: LeakReport::default(),
+            verdict,
+            stats: PhaseStats {
+                trace_collection_time,
+                trace_bytes,
+                total_time: t_total.elapsed(),
+                ..Default::default()
+            },
+            counters,
+            spans,
+            faults,
+            fault_counters,
         });
     }
 
     // Phase 3: evidence. One work item per run chunk, for the shared
     // random evidence and every class's fixed evidence alike; workers fold
     // their chunk into a partial [`Evidence`], and the partials merge in
-    // chunk order below.
+    // chunk order below. Runs that exhaust their retries are quarantined
+    // inside the chunk; the chunk still yields the rest of its runs.
     let t1 = Instant::now();
     let mut items = Vec::new();
     for class in std::iter::once(None).chain((0..filter.classes.len()).map(Some)) {
@@ -327,33 +489,51 @@ where
         }
     }
     let evidence_workers = workers.min(items.len()).max(1);
-    let partials = parallel_map(workers, items.len(), |i| {
+    let partials = parallel_map(evidence_workers, items.len(), |i| {
         let item = &items[i];
         let t = Instant::now();
-        let mut partial = Evidence::default();
-        let mut chunk_counters = SimCounters::default();
-        let outcome = (|| -> Result<(), DetectError> {
-            // With ASLR off and a host audited pure (`deterministic_host`),
-            // a fixed-class run is a pure function of `(program, input)` —
-            // `run_index` only feeds the layout seed — so every run of this
-            // item produces a bit-identical trace and counters. Record once
-            // and replicate exactly instead of re-recording `n` identical
-            // runs. Impure hosts (e.g. a per-run nonce) must keep
-            // re-recording: their fixed-run noise has to reach the evidence
-            // so the differential test can dismiss it.
-            if let (Some(c), None, true) =
-                (item.class, config.aslr_seed, program.deterministic_host())
-            {
-                let n = (item.end - item.start) as u64;
-                let input = &filter.classes[c].representative;
-                let (trace, run_counters) =
-                    record_run_metered(program, input, &spec(item.stream, item.start))?;
-                for _ in 0..n {
-                    chunk_counters.merge(&run_counters);
-                }
-                partial.merge_trace_repeated(trace, n);
-                return Ok(());
+        let mut outcome = ChunkOutcome {
+            partial: Evidence::default(),
+            counters: SimCounters::default(),
+            fault_counters: PhaseFaultCounters::default(),
+            faults: Vec::new(),
+            kept: 0,
+            elapsed: Duration::ZERO,
+        };
+        // With ASLR off and a host audited pure (`deterministic_host`),
+        // a fixed-class run is a pure function of `(program, input)` —
+        // `run_index` only feeds the layout seed — so every run of this
+        // item produces a bit-identical trace and counters. Record once
+        // and replicate exactly instead of re-recording `n` identical
+        // runs. Impure hosts (e.g. a per-run nonce) must keep
+        // re-recording: their fixed-run noise has to reach the evidence
+        // so the differential test can dismiss it.
+        let mut replicated = false;
+        if let (Some(c), None, true) = (item.class, config.aslr_seed, program.deterministic_host())
+        {
+            let input = &filter.classes[c].representative;
+            let attempt =
+                record_run_with_retry(program, input, &spec(item.stream, item.start), &retry);
+            if attempt.result.is_ok() {
+                // The probe records once for the whole chunk, so its retry
+                // accounting folds exactly once (not per replica).
+                attempt.count_into(&mut outcome.fault_counters);
             }
+            if let Ok((trace, run_counters)) = attempt.result {
+                let n = item.end - item.start;
+                for _ in 0..n {
+                    outcome.counters.merge(&run_counters);
+                }
+                outcome.partial.merge_trace_repeated(trace, n as u64);
+                outcome.kept = n;
+                replicated = true;
+            }
+            // A failed probe falls through to the per-run loop: each run
+            // then earns its own retries and its own quarantine record,
+            // exactly as an impure host would. The probe's attempts are
+            // not counted — the per-run loop re-derives the failure.
+        }
+        if !replicated {
             for run in item.start..item.end {
                 let random_input;
                 let input = match item.class {
@@ -363,30 +543,93 @@ where
                     }
                     Some(c) => &filter.classes[c].representative,
                 };
-                let (trace, run_counters) =
-                    record_run_metered(program, input, &spec(item.stream, run))?;
-                chunk_counters.merge(&run_counters);
-                partial.merge_trace(trace);
+                let attempt =
+                    record_run_with_retry(program, input, &spec(item.stream, run), &retry);
+                attempt.count_into(&mut outcome.fault_counters);
+                match attempt.result {
+                    Ok((trace, run_counters)) => {
+                        outcome.counters.merge(&run_counters);
+                        outcome.partial.merge_trace(trace);
+                        outcome.kept += 1;
+                    }
+                    Err(error) => outcome.faults.push(FaultRecord {
+                        context: RunContext {
+                            phase: DetectPhase::Evidence,
+                            class: item.class,
+                            stream: item.stream,
+                            run_index: run as u64,
+                            attempt: attempt.attempts.saturating_sub(1),
+                        },
+                        attempts: attempt.attempts,
+                        error,
+                    }),
+                }
             }
-            Ok(())
-        })();
-        (outcome.map(|()| (partial, chunk_counters)), t.elapsed())
+        }
+        outcome.elapsed = t.elapsed();
+        outcome
     });
-    let evidence_cpu_time = partials.iter().map(|(_, elapsed)| *elapsed).sum();
+    let mut evidence_cpu_time = Duration::ZERO;
     let mut rnd = Evidence::default();
+    let mut rnd_kept = 0usize;
     let mut fixes = vec![Evidence::default(); filter.classes.len()];
-    for (item, (result, _)) in items.iter().zip(partials) {
-        let (partial, chunk_counters) = result?;
-        counters.merge(&chunk_counters);
-        match item.class {
-            None => rnd.merge(partial),
-            Some(c) => fixes[c].merge(partial),
+    let mut fix_kept = vec![0usize; filter.classes.len()];
+    for (item, slot) in items.iter().zip(partials) {
+        match slot {
+            Ok(outcome) => {
+                evidence_cpu_time += outcome.elapsed;
+                counters.merge(&outcome.counters);
+                fault_counters.evidence.merge(&outcome.fault_counters);
+                for record in outcome.faults {
+                    faults.push(record);
+                }
+                match item.class {
+                    None => {
+                        rnd.merge(outcome.partial);
+                        rnd_kept += outcome.kept;
+                    }
+                    Some(c) => {
+                        fixes[c].merge(outcome.partial);
+                        fix_kept[c] += outcome.kept;
+                    }
+                }
+            }
+            Err(panic) => {
+                // The per-run retry loop catches program panics, so losing
+                // a whole chunk is a recorder bug — quarantine every run
+                // in it deterministically rather than abort.
+                let lost = (item.end - item.start) as u64;
+                fault_counters.evidence.panics += 1;
+                fault_counters.evidence.failed_attempts += lost;
+                fault_counters.evidence.quarantined += lost;
+                faults.push(FaultRecord {
+                    context: RunContext {
+                        phase: DetectPhase::Evidence,
+                        class: item.class,
+                        stream: item.stream,
+                        run_index: item.start as u64,
+                        attempt: 0,
+                    },
+                    attempts: 1,
+                    error: DetectError::WorkerPanic {
+                        message: panic.message,
+                    },
+                });
+            }
         }
     }
     let evidence_time = t1.elapsed();
     spans.record("evidence", evidence_time);
     let peak_evidence_bytes =
         rnd.size_bytes() + fixes.iter().map(Evidence::size_bytes).max().unwrap_or(0);
+
+    // Quorum: a distribution test is only trusted when both of its sides
+    // kept enough runs. Shortfalls skip the affected tests (never fake
+    // them) and force an inconclusive verdict below.
+    let quorum = config.quorum();
+    let rnd_ok = rnd_kept >= quorum;
+    let class_ok: Vec<bool> = fix_kept.iter().map(|&kept| kept >= quorum).collect();
+    let below_quorum = !rnd_ok || class_ok.iter().any(|&ok| !ok);
 
     // Distribution tests: one per class, fanned out, merged in class order.
     let t2 = Instant::now();
@@ -395,19 +638,49 @@ where
         method: config.method,
     };
     let class_reports = parallel_map(workers, fixes.len(), |c| {
-        leakage_test(&fixes[c], &rnd, &analysis_config)
+        if !rnd_ok || !class_ok[c] {
+            return None;
+        }
+        Some(leakage_test(&fixes[c], &rnd, &analysis_config))
     });
     let mut report = LeakReport::default();
-    for class_report in &class_reports {
-        report.merge(class_report);
+    let mut analysis_lost = false;
+    for (c, slot) in class_reports.iter().enumerate() {
+        match slot {
+            Ok(Some(class_report)) => report.merge(class_report),
+            Ok(None) => {} // below quorum — already covered by `below_quorum`
+            Err(panic) => {
+                analysis_lost = true;
+                fault_counters.analysis.panics += 1;
+                fault_counters.analysis.failed_attempts += 1;
+                fault_counters.analysis.quarantined += 1;
+                faults.push(FaultRecord {
+                    context: RunContext {
+                        phase: DetectPhase::Analysis,
+                        class: Some(c),
+                        stream: fix_stream(c),
+                        run_index: 0,
+                        attempt: 0,
+                    },
+                    attempts: 1,
+                    error: DetectError::WorkerPanic {
+                        message: panic.message.clone(),
+                    },
+                });
+            }
+        }
     }
     let test_time = t2.elapsed();
     spans.record("analysis", test_time);
 
-    let verdict = if report.is_clean() {
-        Verdict::NoInputDependence
-    } else {
+    // Leaks found on surviving evidence are real regardless of what was
+    // lost; a clean-looking result is only leak-free when nothing was.
+    let verdict = if !report.is_clean() {
         Verdict::Leaky
+    } else if inputs_lost || below_quorum || analysis_lost {
+        Verdict::Inconclusive
+    } else {
+        Verdict::NoInputDependence
     };
     Ok(Detection {
         stats: PhaseStats {
@@ -426,5 +699,7 @@ where
         verdict,
         counters,
         spans,
+        faults,
+        fault_counters,
     })
 }

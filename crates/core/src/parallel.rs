@@ -7,29 +7,50 @@
 //! receives `[f(0), f(1), …]` regardless of worker count or scheduling.
 //! (A `rayon` dependency would provide the same shape; the workspace
 //! builds without network access, so the ~30 lines are written out.)
+//!
+//! Panics are isolated per work item: an unwind out of `f(i)` is caught
+//! (`catch_unwind(AssertUnwindSafe(..))`) and surfaces as that item's
+//! `Err(CaughtPanic)` result slot. No panic propagates across items, no
+//! mutex is poisoned, and every other item still completes — the caller
+//! decides, deterministically and by index order (first-index-wins), how
+//! to report the failure. The inline `workers <= 1` path catches unwinds
+//! identically, so panic behaviour is part of the bit-identical
+//! determinism contract rather than an artifact of threading.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// A panic caught at a work-item boundary, rendered for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CaughtPanic {
+    /// The rendered panic payload.
+    pub message: String,
+}
+
 /// Applies `f` to every index in `0..n` on up to `workers` threads and
-/// returns the results in index order.
+/// returns the results in index order, one `Result` per item: `Err` holds
+/// the caught panic when `f(i)` unwound.
 ///
 /// With `workers <= 1` or `n <= 1` everything runs inline on the calling
-/// thread — the exact serial behaviour, with no threads spawned.
-///
-/// # Panics
-///
-/// Propagates panics from `f` (the scope joins all workers first).
-pub(crate) fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+/// thread — the exact serial behaviour (including panic isolation), with
+/// no threads spawned.
+pub(crate) fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<Result<T, CaughtPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let run_item = |i: usize| {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| CaughtPanic {
+            message: crate::fault::panic_message(payload),
+        })
+    };
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run_item).collect();
     }
     let workers = workers.min(n);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, CaughtPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -38,7 +59,7 @@ where
                 if i >= n {
                     break;
                 }
-                let value = f(i);
+                let value = run_item(i);
                 *slots[i].lock().expect("result slot") = Some(value);
             });
         }
@@ -57,33 +78,65 @@ where
 mod tests {
     use super::*;
 
+    fn unwrap_all<T>(results: Vec<Result<T, CaughtPanic>>) -> Vec<T> {
+        results.into_iter().map(|r| r.expect("no panic")).collect()
+    }
+
     #[test]
     fn results_come_back_in_index_order() {
         for workers in [1, 2, 4, 16] {
-            let out = parallel_map(workers, 37, |i| i * i);
+            let out = unwrap_all(parallel_map(workers, 37, |i| i * i));
             assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn zero_items_is_empty() {
-        let out: Vec<u32> = parallel_map(4, 0, |_| unreachable!("no items"));
+        let out: Vec<Result<u32, _>> = parallel_map(4, 0, |_| unreachable!("no items"));
         assert!(out.is_empty());
     }
 
     #[test]
     fn more_workers_than_items_is_fine() {
-        let out = parallel_map(64, 3, |i| i + 1);
+        let out = unwrap_all(parallel_map(64, 3, |i| i + 1));
         assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]
     fn work_actually_spreads_across_threads() {
-        let ids = parallel_map(4, 64, |_| {
+        let ids = unwrap_all(parallel_map(4, 64, |_| {
             std::thread::sleep(std::time::Duration::from_millis(1));
             format!("{:?}", std::thread::current().id())
-        });
+        }));
         let distinct: std::collections::BTreeSet<String> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected more than one worker thread");
+    }
+
+    #[test]
+    fn panics_are_isolated_per_item_for_every_worker_count() {
+        for workers in [1, 2, 4, 8] {
+            let out = parallel_map(workers, 9, |i| {
+                if i % 3 == 1 {
+                    panic!("boom at {i}");
+                }
+                i * 10
+            });
+            assert_eq!(out.len(), 9);
+            for (i, slot) in out.into_iter().enumerate() {
+                if i % 3 == 1 {
+                    let panic = slot.expect_err("items 1,4,7 panic");
+                    assert_eq!(panic.message, format!("boom at {i}"));
+                } else {
+                    assert_eq!(slot.expect("other items succeed"), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_string_payloads_render_as_placeholder() {
+        let out = parallel_map(1, 1, |_| std::panic::panic_any(42u32));
+        let panic = out.into_iter().next().unwrap().expect_err("panicked");
+        assert_eq!(panic.message, "opaque panic payload");
     }
 }

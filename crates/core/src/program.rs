@@ -1,5 +1,6 @@
 //! The interface between the detector and the application under test.
 
+use crate::record::RunSpec;
 use owl_host::{Device, HostError};
 
 /// A CUDA-style application that Owl can drive.
@@ -29,6 +30,28 @@ pub trait TracedProgram {
     /// the phase on the first error.
     fn run(&self, device: &mut Device, input: &Self::Input) -> Result<(), HostError>;
 
+    /// Executes the program once over `input`, with the identity of the
+    /// detector-driven run ([`RunSpec`]) available.
+    ///
+    /// The default delegates to [`run`](Self::run) — regular applications
+    /// never see the spec. Overridden by harnesses that key behaviour on
+    /// the run identity, most notably the fault-injection wrapper
+    /// ([`FaultyProgram`](crate::inject::FaultyProgram)), which injects
+    /// failures keyed on `(stream, run_index, attempt)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    fn run_with_spec(
+        &self,
+        device: &mut Device,
+        input: &Self::Input,
+        spec: &RunSpec,
+    ) -> Result<(), HostError> {
+        let _ = spec;
+        self.run(device, input)
+    }
+
     /// Draws a random secret input from the program's input space.
     ///
     /// Must be deterministic in `seed` so detection runs are reproducible.
@@ -53,5 +76,36 @@ pub trait TracedProgram {
     /// auditing the host code for per-run state.
     fn deterministic_host(&self) -> bool {
         false
+    }
+}
+
+/// Forwarding impl so wrappers (and the CLI) can hand the detector a
+/// borrowed program without re-implementing the trait.
+impl<P: TracedProgram + ?Sized> TracedProgram for &P {
+    type Input = P::Input;
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn run(&self, device: &mut Device, input: &Self::Input) -> Result<(), HostError> {
+        (**self).run(device, input)
+    }
+
+    fn run_with_spec(
+        &self,
+        device: &mut Device,
+        input: &Self::Input,
+        spec: &RunSpec,
+    ) -> Result<(), HostError> {
+        (**self).run_with_spec(device, input, spec)
+    }
+
+    fn random_input(&self, seed: u64) -> Self::Input {
+        (**self).random_input(seed)
+    }
+
+    fn deterministic_host(&self) -> bool {
+        (**self).deterministic_host()
     }
 }

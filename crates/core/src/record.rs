@@ -49,18 +49,37 @@ pub struct RunSpec {
     pub stream: u64,
     /// The run's index within its stream.
     pub run_index: u64,
+    /// The retry attempt this recording belongs to (0 = first try). Folded
+    /// into the layout seed so retried runs stay pure functions of their
+    /// spec: attempt 0 reproduces the pre-retry layout exactly, and each
+    /// retry sees a fresh (but deterministic) layout under ASLR.
+    pub attempt: u32,
 }
 
 impl RunSpec {
     /// The per-run ASLR layout seed: a pure function of
-    /// `(aslr_seed, stream, run_index)`, never of recording order.
+    /// `(aslr_seed, stream, run_index, attempt)`, never of recording
+    /// order. `attempt == 0` contributes nothing, keeping first-try
+    /// layouts identical to the retry-free detector.
     pub fn layout_seed(&self) -> Option<u64> {
-        self.aslr_seed
-            .map(|base| mix64(mix64(base ^ STREAM_SALT.wrapping_mul(self.stream)) ^ self.run_index))
+        let attempt_salt = u64::from(self.attempt).wrapping_mul(ATTEMPT_SALT);
+        self.aslr_seed.map(|base| {
+            mix64(
+                mix64(base ^ STREAM_SALT.wrapping_mul(self.stream)) ^ self.run_index ^ attempt_salt,
+            )
+        })
+    }
+
+    /// The same run identity at a different retry attempt.
+    #[must_use]
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
     }
 }
 
 const STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const ATTEMPT_SALT: u64 = 0xd1b5_4a32_d192_ed03;
 
 /// SplitMix64 finalizer: a bijective avalanche mix.
 fn mix64(mut x: u64) -> u64 {
@@ -113,7 +132,7 @@ pub fn record_run_metered<P: TracedProgram>(
         warp_size: spec.warp_size,
         ..owl_gpu::exec::LaunchOptions::default()
     });
-    let trace = record_trace_on(program, input, &mut device)?;
+    let trace = record_trace_inner(program, input, &mut device, Some(spec))?;
     Ok((trace, device.total_stats().counters))
 }
 
@@ -128,9 +147,25 @@ pub fn record_trace_on<P: TracedProgram>(
     input: &P::Input,
     device: &mut Device,
 ) -> Result<ProgramTrace, DetectError> {
+    record_trace_inner(program, input, device, None)
+}
+
+/// The shared recording core. Detector-driven runs pass their [`RunSpec`]
+/// so spec-aware programs ([`TracedProgram::run_with_spec`], e.g. the
+/// fault-injection wrapper) can key behaviour on the run identity;
+/// spec-less entry points pass `None` and hit the plain `run` path.
+fn record_trace_inner<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    device: &mut Device,
+    spec: Option<&RunSpec>,
+) -> Result<ProgramTrace, DetectError> {
     let tracer = Rc::new(RefCell::new(OwlTracer::new(device.alloc_table())));
     device.attach_hook(tracer.clone());
-    let run_result = program.run(device, input);
+    let run_result = match spec {
+        Some(spec) => program.run_with_spec(device, input, spec),
+        None => program.run(device, input),
+    };
     device.detach_hook();
     run_result?;
 
@@ -305,6 +340,7 @@ mod tests {
             aslr_seed: Some(7),
             stream: 3,
             run_index: 11,
+            attempt: 0,
         };
         let a = record_run(&toy, &5, &spec).unwrap();
         let b = record_run(&toy, &5, &spec).unwrap();
@@ -319,6 +355,7 @@ mod tests {
             aslr_seed: Some(9),
             stream: 1,
             run_index: 4,
+            attempt: 0,
         };
         let (trace_a, counters_a) = record_run_metered(&toy, &5, &spec).unwrap();
         let (trace_b, counters_b) = record_run_metered(&toy, &5, &spec).unwrap();
@@ -337,6 +374,7 @@ mod tests {
             aslr_seed: Some(0xABCD),
             stream,
             run_index,
+            attempt: 0,
         };
         // Distinct (stream, run) pairs get distinct layouts; equal pairs
         // agree; ASLR off means no layout at all.
@@ -351,6 +389,30 @@ mod tests {
             }
             .layout_seed(),
             None
+        );
+    }
+
+    #[test]
+    fn layout_seed_separates_retry_attempts() {
+        let base = RunSpec {
+            warp_size: 32,
+            aslr_seed: Some(0xABCD),
+            stream: 1,
+            run_index: 5,
+            attempt: 0,
+        };
+        // Attempt 0 is the run's canonical identity (pre-retry layouts are
+        // reproduced exactly); each retry sees a distinct deterministic
+        // layout.
+        assert_eq!(base.layout_seed(), base.with_attempt(0).layout_seed());
+        assert_ne!(base.layout_seed(), base.with_attempt(1).layout_seed());
+        assert_ne!(
+            base.with_attempt(1).layout_seed(),
+            base.with_attempt(2).layout_seed()
+        );
+        assert_eq!(
+            base.with_attempt(2).layout_seed(),
+            base.with_attempt(2).layout_seed()
         );
     }
 }

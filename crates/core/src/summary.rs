@@ -16,9 +16,10 @@
 //! Both documents carry [`SCHEMA_VERSION`] under `"schema_version"`; see
 //! `owl-metrics` for the bump policy.
 
+use crate::fault::FaultLog;
 use crate::owl::{Detection, OwlConfig, PhaseStats, Verdict};
 use crate::report::LeakReport;
-use owl_metrics::{SimCounters, Spans, SCHEMA_VERSION};
+use owl_metrics::{FaultCounters, SimCounters, Spans, SCHEMA_VERSION};
 use serde::Serialize;
 use std::time::Duration;
 
@@ -33,8 +34,8 @@ pub struct DetectionSummary {
     pub schema_version: u32,
     /// Name of the workload under test.
     pub workload: String,
-    /// The verdict, as its stable machine-readable name
-    /// (`"leak_free"` / `"no_input_dependence"` / `"leaky"`).
+    /// The verdict, as its stable machine-readable name (`"leak_free"` /
+    /// `"no_input_dependence"` / `"leaky"` / `"inconclusive"`).
     pub verdict: String,
     /// Number of input classes after duplicates removing.
     pub classes: usize,
@@ -44,6 +45,12 @@ pub struct DetectionSummary {
     pub config: ConfigEcho,
     /// Simulator execution counters totalled over every recorded run.
     pub counters: SimCounters,
+    /// Per-phase fault counters (all-zero for a fault-free detection —
+    /// the summary bytes then match a detector without fault tolerance,
+    /// schema bump aside).
+    pub faults: FaultCounters,
+    /// Every quarantined run, in run order (empty when fault-free).
+    pub fault_log: FaultLog,
     /// The merged leak report.
     pub report: LeakReport,
 }
@@ -69,6 +76,11 @@ pub struct ConfigEcho {
     pub warp_size: u32,
     /// Simulated-ASLR seed, when enabled.
     pub aslr_seed: Option<u64>,
+    /// Attempt budget per run (1 = no retries).
+    pub retry_max_attempts: u32,
+    /// Minimum surviving runs per evidence set (`None` = the automatic
+    /// half-of-runs quorum).
+    pub min_runs_per_set: Option<usize>,
 }
 
 impl DetectionSummary {
@@ -95,8 +107,12 @@ impl DetectionSummary {
                 },
                 warp_size: config.warp_size,
                 aslr_seed: config.aslr_seed,
+                retry_max_attempts: config.retry.max_attempts,
+                min_runs_per_set: config.min_runs_per_set,
             },
             counters: detection.counters,
+            faults: detection.fault_counters,
+            fault_log: detection.faults.clone(),
             report: detection.report.clone(),
         }
     }
@@ -108,6 +124,7 @@ pub fn verdict_name(verdict: Verdict) -> &'static str {
         Verdict::LeakFree => "leak_free",
         Verdict::NoInputDependence => "no_input_dependence",
         Verdict::Leaky => "leaky",
+        Verdict::Inconclusive => "inconclusive",
     }
 }
 
@@ -225,6 +242,8 @@ mod tests {
                 s.record("trace_collection", Duration::from_millis(12));
                 s
             },
+            faults: FaultLog::new(),
+            fault_counters: FaultCounters::default(),
         }
     }
 
@@ -268,6 +287,19 @@ mod tests {
         assert!(!has_key(config_echo, "parallelism"));
         assert!(!json.contains("_ms"));
         assert!(!json.contains("wall_nanos"));
+        // The fault-tolerance echo: retry budget, quorum, and all-zero
+        // fault counters with an empty quarantine log.
+        assert_eq!(
+            *get(config_echo, "retry_max_attempts"),
+            serde_json::Value::Int(3)
+        );
+        assert!(has_key(config_echo, "min_runs_per_set"));
+        let faults = get(&value, "faults");
+        assert_eq!(
+            *get(get(faults, "evidence"), "quarantined"),
+            serde_json::Value::Int(0)
+        );
+        assert_eq!(get(&value, "fault_log").as_seq().map(<[_]>::len), Some(0));
     }
 
     #[test]
@@ -296,5 +328,6 @@ mod tests {
             "no_input_dependence"
         );
         assert_eq!(verdict_name(Verdict::Leaky), "leaky");
+        assert_eq!(verdict_name(Verdict::Inconclusive), "inconclusive");
     }
 }

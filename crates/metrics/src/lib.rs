@@ -45,7 +45,12 @@ use std::time::{Duration, Instant};
 /// Version stamp of every machine-readable report emitted by the
 /// workspace (`owl-detect --format json`, `--metrics-out`, and the
 /// `BENCH_*.json` files). See the crate docs for the bump policy.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2: the detection summary gained per-phase fault counters
+/// ([`FaultCounters`]) and a quarantine log, and the verdict vocabulary
+/// gained `"inconclusive"` — a meaning change for consumers that switch on
+/// the verdict, hence the bump.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Execution counters accumulated by the SIMT interpreter over one or more
 /// kernel launches.
@@ -120,6 +125,94 @@ impl SimCounters {
     /// `true` when nothing has been counted (the monoid identity).
     pub fn is_zero(&self) -> bool {
         *self == SimCounters::default()
+    }
+}
+
+/// Fault accounting for one detector phase.
+///
+/// Every field counts *faults*, not work: a detection that encounters no
+/// failures reports all-zero counters no matter how many runs it records.
+/// (Total run counts live in the cost accounting, not here.) Like
+/// [`SimCounters`], the fields are `u64` tallies merged by addition, so
+/// per-chunk partials combine associatively and commutatively — the
+/// parallel detector's determinism contract extends to fault accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseFaultCounters {
+    /// Recording attempts that failed (every failed attempt counts, the
+    /// first try and each retry alike).
+    pub failed_attempts: u64,
+    /// Retry attempts scheduled after a failed attempt (bounded by the
+    /// retry policy's `max_attempts`).
+    pub retried: u64,
+    /// Runs that exhausted their retries (or failed permanently) and were
+    /// quarantined into the fault log instead of aborting the detection.
+    pub quarantined: u64,
+    /// Worker panics caught and converted into typed failures (a subset of
+    /// `failed_attempts` when the panic struck a recording attempt).
+    pub panics: u64,
+}
+
+impl PhaseFaultCounters {
+    /// Adds another counter set into this one. Associative and
+    /// commutative; [`PhaseFaultCounters::default`] is the identity.
+    #[inline]
+    pub fn merge(&mut self, other: &PhaseFaultCounters) {
+        self.failed_attempts += other.failed_attempts;
+        self.retried += other.retried;
+        self.quarantined += other.quarantined;
+        self.panics += other.panics;
+    }
+
+    /// `true` when no fault has been counted (the monoid identity).
+    pub fn is_zero(&self) -> bool {
+        *self == PhaseFaultCounters::default()
+    }
+}
+
+/// Per-phase fault counters for one detection, keyed by the detector's
+/// three phases.
+///
+/// Carried by the schema-versioned detection summary (schema version ≥ 2).
+/// All-zero for a fault-free detection, so the summary bytes stay a pure
+/// function of `(program, inputs, config)` — injected or real faults are
+/// themselves deterministic inputs under the retry contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Faults during phase 1 (per-user-input trace recording).
+    pub trace_collection: PhaseFaultCounters,
+    /// Faults during phase 3 evidence recording (fixed and random runs).
+    pub evidence: PhaseFaultCounters,
+    /// Faults during the distribution tests (worker panics only — the
+    /// analysis runs no program code, so there is nothing to retry).
+    pub analysis: PhaseFaultCounters,
+}
+
+impl FaultCounters {
+    /// Adds another counter set into this one. Associative and
+    /// commutative; [`FaultCounters::default`] is the identity.
+    #[inline]
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.trace_collection.merge(&other.trace_collection);
+        self.evidence.merge(&other.evidence);
+        self.analysis.merge(&other.analysis);
+    }
+
+    /// [`merge`](Self::merge) by value, for fold-style accumulation.
+    #[must_use]
+    #[inline]
+    pub fn merged(mut self, other: &FaultCounters) -> FaultCounters {
+        self.merge(other);
+        self
+    }
+
+    /// `true` when no fault has been counted in any phase.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+
+    /// Runs quarantined over all phases.
+    pub fn total_quarantined(&self) -> u64 {
+        self.trace_collection.quarantined + self.evidence.quarantined + self.analysis.quarantined
     }
 }
 
@@ -256,6 +349,51 @@ mod tests {
         let back: SimCounters = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
         assert!(json.contains("\"divergence_events\""));
+    }
+
+    fn fault_sample(seed: u64) -> FaultCounters {
+        FaultCounters {
+            trace_collection: PhaseFaultCounters {
+                failed_attempts: seed + 1,
+                retried: seed,
+                quarantined: seed % 4,
+                panics: seed % 2,
+            },
+            evidence: PhaseFaultCounters {
+                failed_attempts: seed * 3,
+                retried: seed * 2,
+                quarantined: seed % 7,
+                panics: 0,
+            },
+            analysis: PhaseFaultCounters {
+                panics: seed % 3,
+                ..PhaseFaultCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fault_merge_is_associative_and_commutative() {
+        let (a, b, c) = (fault_sample(4), fault_sample(9), fault_sample(23));
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        assert_eq!(left, right);
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&FaultCounters::default()), a);
+        assert!(FaultCounters::default().is_zero());
+        assert!(!a.is_zero());
+        // fault_sample(4): trace 4 % 4 = 0 quarantined, evidence 4 % 7 = 4.
+        assert_eq!(a.total_quarantined(), 4);
+    }
+
+    #[test]
+    fn fault_counters_serialize_roundtrip() {
+        let a = fault_sample(11);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: FaultCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert!(json.contains("\"quarantined\""));
+        assert!(json.contains("\"trace_collection\""));
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Verdict::Leaky => "LEAKY",
             Verdict::LeakFree => "clean (identical traces)",
             Verdict::NoInputDependence => "clean (noise only)",
+            Verdict::Inconclusive => "inconclusive (runs quarantined)",
         };
         println!(
             "{:<18} {:>8} {:>8} {:>8}  {}",

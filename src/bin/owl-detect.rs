@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED]
-//!            [--parallelism N] [--format text|json] [--metrics-out PATH]
+//!            [--parallelism N] [--retries N] [--min-runs N]
+//!            [--inject transient|quarantine|panic]
+//!            [--format text|json] [--metrics-out PATH]
 //!
 //! workloads:
 //!   aes-ttable | aes-scan | rsa-sqm | rsa-ladder
@@ -21,11 +23,18 @@
 //! separate JSON file.
 //!
 //! Exit codes encode the verdict: 0 = leak-free / no input dependence,
-//! 2 = leaks found, 1 = usage or runtime error.
+//! 2 = leaks found, 3 = inconclusive (too many runs quarantined to certify
+//! a clean result — consult the fault log), 1 = usage or runtime error.
+//!
+//! `--inject` wraps the workload in the deterministic fault-injection
+//! harness (testing/demo only): `transient` faults recover through
+//! retries, `quarantine` kills the whole random evidence stream (exit 3),
+//! `panic` quarantines a single run without changing the verdict.
 
 use owl::core::{
-    detect, Detection, DetectionSummary, MetricsReport, OwlConfig, TestMethod, TracedProgram,
-    Verdict,
+    detect, Detection, DetectionSummary, ExecFaultKind, FaultPlan, FaultRule, FaultyProgram,
+    InjectedFault, MetricsReport, OwlConfig, RetryPolicy, TestMethod, TracedProgram, Verdict,
+    STREAM_RND,
 };
 use owl::workloads::aes::{AesScan, AesTTable};
 use owl::workloads::coalescing::CoalescingStride;
@@ -54,6 +63,9 @@ struct Options {
     method: TestMethod,
     aslr_seed: Option<u64>,
     parallelism: Option<usize>,
+    retries: Option<u32>,
+    min_runs: Option<usize>,
+    inject: Option<String>,
     format: OutputFormat,
     metrics_out: Option<String>,
 }
@@ -68,8 +80,45 @@ impl Options {
             method: self.method,
             aslr_seed: self.aslr_seed,
             parallelism: self.parallelism.unwrap_or(defaults.parallelism),
+            retry: self
+                .retries
+                .map_or(defaults.retry, RetryPolicy::with_max_attempts),
+            min_runs_per_set: self.min_runs,
             ..defaults
         }
+    }
+
+    /// The fault-injection plan requested via `--inject`, if any.
+    fn injection_plan(&self) -> Result<Option<FaultPlan>, String> {
+        let Some(scenario) = self.inject.as_deref() else {
+            return Ok(None);
+        };
+        let plan = match scenario {
+            // Every random-evidence run fails its first two attempts and
+            // succeeds on the third: the default retry budget recovers
+            // everything, so verdict and report match the fault-free run.
+            "transient" => FaultPlan::new().rule(FaultRule {
+                stream: Some(STREAM_RND),
+                run_index: None,
+                attempts_below: Some(2),
+                fault: InjectedFault::Exec(ExecFaultKind::FuelExhausted),
+            }),
+            // The whole random evidence stream fails persistently: E_rnd
+            // falls below quorum and the detection exits 3 (inconclusive).
+            "quarantine" => FaultPlan::new().fail_stream(
+                STREAM_RND,
+                InjectedFault::Exec(ExecFaultKind::FuelExhausted),
+            ),
+            // One random-evidence run panics persistently: the run is
+            // quarantined, the quorum holds, the verdict is unchanged.
+            "panic" => FaultPlan::new().fail_run(STREAM_RND, 0, InjectedFault::Panic),
+            other => {
+                return Err(format!(
+                    "unknown --inject scenario {other} (expected transient|quarantine|panic)"
+                ))
+            }
+        };
+        Ok(Some(plan))
     }
 }
 
@@ -83,6 +132,9 @@ fn parse_args() -> Result<Options, String> {
         method: TestMethod::Ks,
         aslr_seed: None,
         parallelism: None,
+        retries: None,
+        min_runs: None,
+        inject: None,
         format: OutputFormat::Text,
         metrics_out: None,
     };
@@ -116,6 +168,24 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--parallelism needs a worker count >= 1")?,
                 );
             }
+            "--retries" => {
+                opts.retries = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--retries needs an attempt budget >= 1")?,
+                );
+            }
+            "--min-runs" => {
+                opts.min_runs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--min-runs needs a number")?,
+                );
+            }
+            "--inject" => {
+                opts.inject = Some(args.next().ok_or("--inject needs a scenario name")?);
+            }
             "--format" => {
                 opts.format = match args.next().as_deref() {
                     Some("text") => OutputFormat::Text,
@@ -143,15 +213,25 @@ where
     P: TracedProgram + Sync,
     P::Input: Send + Sync,
 {
-    detect(program, inputs, &opts.config()).map_err(|e| e.to_string())
+    let config = opts.config();
+    let result = match opts.injection_plan()? {
+        // The blanket `&P: TracedProgram` impl lets the harness wrap the
+        // borrowed workload.
+        Some(plan) => detect(&FaultyProgram::new(program, plan), inputs, &config),
+        None => detect(program, inputs, &config),
+    };
+    // `detect` errors carry their run context (phase, stream, run index);
+    // Display renders it, so the CLI message names the failing run.
+    result.map_err(|e| e.to_string())
 }
 
-/// The exit code encoding a verdict: 0 = clean, 2 = leaky (1 is reserved
-/// for usage/runtime errors).
+/// The exit code encoding a verdict: 0 = clean, 2 = leaky,
+/// 3 = inconclusive (1 is reserved for usage/runtime errors).
 fn verdict_exit_code(verdict: Verdict) -> ExitCode {
     match verdict {
         Verdict::LeakFree | Verdict::NoInputDependence => ExitCode::SUCCESS,
         Verdict::Leaky => ExitCode::from(2),
+        Verdict::Inconclusive => ExitCode::from(3),
     }
 }
 
@@ -185,6 +265,24 @@ fn report<I>(name: &str, detection: &Detection<I>, opts: &Options) -> Result<Exi
                 c.mem_transactions,
                 c.bank_conflicts
             );
+            let fc = &detection.fault_counters;
+            if !detection.faults.is_empty() || !fc.is_zero() {
+                println!(
+                    "faults: {} run(s) quarantined, {} retried, {} panic(s) caught",
+                    fc.total_quarantined(),
+                    fc.trace_collection.retried + fc.evidence.retried + fc.analysis.retried,
+                    fc.trace_collection.panics + fc.evidence.panics + fc.analysis.panics
+                );
+                for record in detection.faults.iter().take(8) {
+                    println!("  {}", record.to_error());
+                }
+                if detection.faults.len() > 8 {
+                    println!(
+                        "  … {} more (see --format json)",
+                        detection.faults.len() - 8
+                    );
+                }
+            }
             print!("{}", detection.report);
         }
     }
@@ -323,7 +421,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] \
-                 [--parallelism N] [--format text|json] [--metrics-out PATH]"
+                 [--parallelism N] [--retries N] [--min-runs N] \
+                 [--inject transient|quarantine|panic] [--format text|json] [--metrics-out PATH]"
             );
             return ExitCode::from(1);
         }

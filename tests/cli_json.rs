@@ -1,8 +1,8 @@
 //! End-to-end contract of the `owl-detect` CLI: `--format json` emits a
 //! schema-versioned [`DetectionSummary`] that parses, the exit code encodes
-//! the verdict (0 = clean, 2 = leaky, 1 = error), stdout is byte-identical
-//! across `--parallelism` settings, and `--metrics-out` captures the
-//! wall-clock side in a separate file.
+//! the verdict (0 = clean, 2 = leaky, 3 = inconclusive, 1 = error), stdout
+//! is byte-identical across `--parallelism` settings, and `--metrics-out`
+//! captures the wall-clock side in a separate file.
 
 use std::process::{Command, Output};
 
@@ -53,6 +53,105 @@ fn clean_workload_exits_zero() {
     assert!(
         verdict == "leak_free" || verdict == "no_input_dependence",
         "unexpected verdict {verdict:?}"
+    );
+}
+
+#[test]
+fn injected_quarantine_exits_three_with_fault_log() {
+    // `--inject quarantine` persistently kills the whole random evidence
+    // stream: E_rnd falls below quorum, the verdict is inconclusive, and
+    // the summary carries the quarantine log.
+    let out = owl_detect(&[
+        "dummy",
+        "--runs",
+        "8",
+        "--inject",
+        "quarantine",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "inconclusive verdict must exit 3"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(get(&value, "verdict").as_str(), Some("inconclusive"));
+    let quarantined = get(get(get(&value, "faults"), "evidence"), "quarantined");
+    assert_eq!(*quarantined, serde_json::Value::Int(8));
+    let log = get(&value, "fault_log").as_seq().expect("fault_log array");
+    assert_eq!(log.len(), 8, "one record per lost run");
+    assert_eq!(
+        get(&log[0], "error_kind").as_str(),
+        Some("exec_fuel_exhausted")
+    );
+    assert_eq!(get(&log[0], "phase").as_str(), Some("evidence"));
+}
+
+#[test]
+fn injected_transient_faults_keep_the_verdict_and_exit_code() {
+    // `--inject transient` fails every random run's first two attempts;
+    // the default retry budget recovers all of them, so the workload's
+    // normal verdict (leaky → exit 2) stands and only the fault counters
+    // record the turbulence.
+    let out = owl_detect(&[
+        "dummy",
+        "--runs",
+        "8",
+        "--inject",
+        "transient",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "recovered runs keep the verdict"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(get(&value, "verdict").as_str(), Some("leaky"));
+    let evidence = get(get(&value, "faults"), "evidence");
+    assert_eq!(*get(evidence, "quarantined"), serde_json::Value::Int(0));
+    assert_eq!(*get(evidence, "retried"), serde_json::Value::Int(16));
+    assert!(get(&value, "fault_log")
+        .as_seq()
+        .expect("fault_log array")
+        .is_empty());
+}
+
+#[test]
+fn injected_fault_stdout_is_byte_identical_across_parallelism() {
+    let base = [
+        "dummy",
+        "--runs",
+        "8",
+        "--inject",
+        "quarantine",
+        "--format",
+        "json",
+        "--parallelism",
+    ];
+    let serial = owl_detect(&[&base[..], &["1"]].concat());
+    let parallel = owl_detect(&[&base[..], &["4"]].concat());
+    assert_eq!(serial.status.code(), Some(3));
+    assert_eq!(parallel.status.code(), Some(3));
+    assert_eq!(
+        String::from_utf8(serial.stdout).expect("utf8"),
+        String::from_utf8(parallel.stdout).expect("utf8"),
+        "fault log and counters on stdout must not depend on the worker count"
+    );
+}
+
+#[test]
+fn unknown_inject_scenario_exits_one() {
+    let out = owl_detect(&["dummy", "--runs", "8", "--inject", "no-such-fault"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(
+        stderr.contains("unknown --inject scenario"),
+        "stderr: {stderr}"
     );
 }
 

@@ -66,6 +66,12 @@ where
             serial.counters, parallel.counters,
             "counter totals changed at parallelism {parallelism} (aslr {aslr_seed:?})"
         );
+        // With zero injected faults the fault machinery must be inert:
+        // empty log, all-zero counters, at every worker count.
+        assert!(
+            parallel.faults.is_empty() && parallel.fault_counters.is_zero(),
+            "fault-free detection produced fault accounting at parallelism {parallelism}"
+        );
         // The machine-readable summary (counters included) is the public
         // face of the contract: byte-identical across worker counts.
         let parallel_summary =
@@ -108,4 +114,23 @@ fn leaky_workload_verdict_survives_parallelism() {
         detection.counters.instructions > 0,
         "the parallel pipeline must still accumulate execution counters"
     );
+}
+
+#[test]
+fn evidence_worker_count_is_clamped_to_the_item_count() {
+    let aes = AesTTable::new(32);
+    let keys = [[0u8; 16], [0xffu8; 16], *b"owl-sca-detector"];
+    // Far more workers than work: runs=20 → 3 chunks per stream, and
+    // (classes + 1) streams, so the evidence fan-out has at most
+    // 3 * (classes + 1) items to hand out.
+    let detection = run(&aes, &keys, 64, None);
+    let chunks_per_stream = 20usize.div_ceil(8);
+    let max_items = chunks_per_stream * (detection.filter.classes.len() + 1);
+    assert!(
+        detection.stats.evidence_workers <= max_items,
+        "evidence_workers {} exceeds the {} work items",
+        detection.stats.evidence_workers,
+        max_items
+    );
+    assert!(detection.stats.evidence_workers >= 1);
 }
