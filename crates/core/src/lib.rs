@@ -107,7 +107,10 @@ pub use owl_metrics::{
     FaultCounters, PhaseFaultCounters, PhaseSpan, SimCounters, Spans, SCHEMA_VERSION,
 };
 pub use program::TracedProgram;
-pub use record::{record_run, record_run_metered, record_trace, record_trace_on, RunSpec};
+pub use record::{
+    record_run, record_run_metered, record_run_with_interpreter, record_trace, record_trace_on,
+    RunSpec,
+};
 pub use report::{Leak, LeakKind, LeakLocation, LeakReport};
 pub use summary::{verdict_name, DetectionSummary, MetricsReport, PhaseStatsMs};
 pub use trace::{InvocationKey, KernelInvocation, MallocRecord, ProgramTrace};

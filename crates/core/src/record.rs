@@ -124,12 +124,34 @@ pub fn record_run_metered<P: TracedProgram>(
     input: &P::Input,
     spec: &RunSpec,
 ) -> Result<(ProgramTrace, owl_metrics::SimCounters), DetectError> {
+    record_run_with_interpreter(program, input, spec, owl_gpu::exec::Interpreter::Lowered)
+}
+
+/// [`record_run_metered`] with an explicit simulator interpreter.
+///
+/// This is the conformance seam: the `owl-conformance` suite records the
+/// same `(program, input, spec)` under the lowered fast path and under the
+/// reference oracle and asserts the resulting [`ProgramTrace`]s (and their
+/// digests, and the execution counters) are bit-identical. Production
+/// callers should use [`record_run`] / [`record_run_metered`], which pin
+/// the lowered interpreter.
+///
+/// # Errors
+///
+/// See [`record_trace`].
+pub fn record_run_with_interpreter<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    spec: &RunSpec,
+    interpreter: owl_gpu::exec::Interpreter,
+) -> Result<(ProgramTrace, owl_metrics::SimCounters), DetectError> {
     let mut device = match spec.layout_seed() {
         None => Device::new(),
         Some(seed) => Device::with_aslr(seed),
     };
     device.set_launch_options(owl_gpu::exec::LaunchOptions {
         warp_size: spec.warp_size,
+        interpreter,
         ..owl_gpu::exec::LaunchOptions::default()
     });
     let trace = record_trace_inner(program, input, &mut device, Some(spec))?;
@@ -365,6 +387,37 @@ mod tests {
         assert!(counters_a.mem_accesses > 0);
         // The plain recorder sees the same trace.
         assert_eq!(record_run(&toy, &5, &spec).unwrap(), trace_a);
+    }
+
+    #[test]
+    fn oracle_recording_matches_lowered_recording() {
+        let toy = Toy::new();
+        let spec = RunSpec {
+            warp_size: 32,
+            aslr_seed: Some(13),
+            stream: 2,
+            run_index: 7,
+            attempt: 0,
+        };
+        for input in [2u64, 5] {
+            let (fast, fast_counters) = record_run_with_interpreter(
+                &toy,
+                &input,
+                &spec,
+                owl_gpu::exec::Interpreter::Lowered,
+            )
+            .unwrap();
+            let (oracle, oracle_counters) = record_run_with_interpreter(
+                &toy,
+                &input,
+                &spec,
+                owl_gpu::exec::Interpreter::Oracle,
+            )
+            .unwrap();
+            assert_eq!(fast, oracle);
+            assert_eq!(fast.digest(), oracle.digest());
+            assert_eq!(fast_counters, oracle_counters);
+        }
     }
 
     #[test]

@@ -48,6 +48,23 @@ impl LaunchStats {
     }
 }
 
+/// Which interpreter executes a launch.
+///
+/// Both interpreters implement the same observable contract — identical
+/// memory effects, hook event streams, [`LaunchStats`] and errors — and the
+/// conformance suite (`genkernel`/`oracle`) holds them to it by running
+/// random kernels through both and demanding bit-equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interpreter {
+    /// The production fast path: pre-lowered IR, batched memory events.
+    #[default]
+    Lowered,
+    /// The deliberately naive reference oracle ([`crate::oracle`]): executes
+    /// the unlowered program form directly, one instruction and one hook
+    /// event at a time, sharing no interpretation logic with the fast path.
+    Oracle,
+}
+
 /// Launch options beyond geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchOptions {
@@ -58,6 +75,8 @@ pub struct LaunchOptions {
     /// "can also be applied to other similar SIMT architectures", and this
     /// knob lets the whole pipeline be exercised at those widths.
     pub warp_size: u32,
+    /// Which interpreter runs the kernel (default: the lowered fast path).
+    pub interpreter: Interpreter,
 }
 
 impl Default for LaunchOptions {
@@ -65,6 +84,7 @@ impl Default for LaunchOptions {
         LaunchOptions {
             fuel: DEFAULT_FUEL,
             warp_size: crate::grid::WARP_SIZE,
+            interpreter: Interpreter::default(),
         }
     }
 }
@@ -125,6 +145,9 @@ pub fn launch_with_options(
     hook: &mut dyn KernelHook,
     options: LaunchOptions,
 ) -> Result<LaunchStats, ExecError> {
+    if options.interpreter == Interpreter::Oracle {
+        return crate::oracle::launch_oracle(mem, program, config, args, hook, options);
+    }
     program.validate()?;
     if config.total_threads() == 0 {
         return Err(ExecError::EmptyLaunch);

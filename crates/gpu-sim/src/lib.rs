@@ -64,17 +64,19 @@ pub mod build;
 pub mod disasm;
 pub mod error;
 pub mod exec;
+pub mod genkernel;
 pub mod grid;
 pub mod hook;
 pub mod isa;
 mod lowered;
 pub mod mem;
+pub mod oracle;
 pub mod program;
 mod warp;
 
 pub use build::KernelBuilder;
 pub use error::ExecError;
-pub use exec::{launch, launch_with_options, LaunchOptions, LaunchStats};
+pub use exec::{launch, launch_with_options, Interpreter, LaunchOptions, LaunchStats};
 pub use grid::{Dim3, LaunchConfig, WARP_SIZE};
 pub use hook::{
     AccessKind, KernelHook, LaunchInfo, MemAccessEvent, MemEventBatch, MemEventDesc, NullHook,

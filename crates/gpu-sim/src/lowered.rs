@@ -27,7 +27,7 @@ use crate::program::KernelProgram;
 pub(crate) const NO_GUARD: u16 = u16::MAX;
 
 /// A pre-decoded operand: a raw register index or an immediate.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum LOperand {
     /// Value of the lane's register with this index.
     Reg(u16),
@@ -47,7 +47,7 @@ impl From<Operand> for LOperand {
 /// A flat, pre-decoded instruction operation. Mirrors
 /// [`crate::isa::InstOp`] with operands resolved to [`LOperand`], widths
 /// in bytes, and atomic masks pre-computed.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum LOp {
     Mov {
         dst: u16,
@@ -126,7 +126,7 @@ pub(crate) enum LOp {
 }
 
 /// One pre-decoded instruction: flattened guard plus [`LOp`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct LInst {
     /// Guard predicate index, [`NO_GUARD`] when unguarded.
     pub guard_pred: u16,
@@ -137,14 +137,14 @@ pub(crate) struct LInst {
 }
 
 /// One basic block's pre-decoded instructions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct LoweredBlock {
     pub insts: Vec<LInst>,
 }
 
 /// The pre-decoded form of a whole kernel, indexed like
 /// [`KernelProgram::blocks`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct LoweredProgram {
     pub blocks: Vec<LoweredBlock>,
 }

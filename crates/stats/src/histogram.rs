@@ -256,6 +256,43 @@ mod tests {
     }
 
     #[test]
+    fn empty_merge_is_identity() {
+        let h: Histogram = [(1, 2), (7, 3)].into_iter().collect();
+        // Empty right-hand side: no-op.
+        let mut lhs = h.clone();
+        lhs.merge(&Histogram::new());
+        assert_eq!(lhs, h);
+        // Empty left-hand side: copies the source.
+        let mut rhs = Histogram::new();
+        rhs.merge(&h);
+        assert_eq!(rhs, h);
+        // Both empty: still empty, still equal to a fresh histogram.
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert!(both.is_empty());
+        assert_eq!(both, Histogram::new());
+        assert_eq!(both.size_bytes(), 0);
+    }
+
+    #[test]
+    fn scale_zero_empties_the_histogram() {
+        // scale(k) is merging k times into an empty histogram; k = 0 is
+        // the empty merge — observationally indistinguishable from new().
+        let mut h: Histogram = [(1, 2), (7, 3)].into_iter().collect();
+        h.scale(0);
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.distinct(), 0);
+        assert_eq!(h.count(1), 0);
+        assert_eq!(h, Histogram::new());
+        assert_eq!(
+            serde_json::to_string(&h).unwrap(),
+            serde_json::to_string(&Histogram::new()).unwrap()
+        );
+        assert!(h.to_samples().is_empty());
+    }
+
+    #[test]
     fn serde_bytes_match_btreemap_form() {
         let h: Histogram = [(2, 7), (1, 3)].into_iter().collect();
         assert_eq!(

@@ -163,6 +163,51 @@ mod tests {
     }
 
     #[test]
+    fn threshold_matches_eq3_at_minimal_sample_sizes() {
+        // Eq. (3) in closed form at the smallest meaningful sizes. At
+        // n = m = 1 the threshold exceeds the statistic's attainable
+        // maximum of 1, so singleton evidence can never reject — the
+        // detector needs real sample sizes before it may call a leak.
+        let eq3 =
+            |n: f64, m: f64| (-(0.05f64 / 2.0).ln() / 2.0).sqrt() * ((n + m) / (n * m)).sqrt();
+        let x1 = WeightedSamples::from_values([0.0]);
+        let y1 = WeightedSamples::from_values([100.0]);
+        let out11 = ks_two_sample(&x1, &y1, ALPHA);
+        assert_eq!((out11.n, out11.m), (1, 1));
+        assert_eq!(out11.statistic, 1.0);
+        assert!((out11.threshold - eq3(1.0, 1.0)).abs() < 1e-12);
+        assert!(out11.threshold > 1.0);
+        assert!(!out11.rejected);
+
+        let x2 = WeightedSamples::from_values([0.0, 1.0]);
+        let y2 = WeightedSamples::from_values([100.0, 101.0]);
+        let out12 = ks_two_sample(&x1, &y2, ALPHA);
+        assert!((out12.threshold - eq3(1.0, 2.0)).abs() < 1e-12);
+        let out22 = ks_two_sample(&x2, &y2, ALPHA);
+        assert!((out22.threshold - eq3(2.0, 2.0)).abs() < 1e-12);
+        // n = m = 2 still cannot reject a perfect separation at α = 0.95.
+        assert!(out22.threshold > 1.0);
+        assert!(!out22.rejected);
+    }
+
+    #[test]
+    fn identical_shortcut_matches_computed_outcome() {
+        // `KsOutcome::identical` must be bit-compatible with actually
+        // running the test on equal samples, threshold included, so
+        // shortcut outcomes stay comparable inside reports.
+        let x = WeightedSamples::from_values([1.0, 2.0, 3.0]);
+        let computed = ks_two_sample(&x, &x, ALPHA);
+        assert_eq!(computed, KsOutcome::identical(3, 3, ALPHA));
+        // Empty sides have no defined eq. (3) threshold: infinity sentinel,
+        // never a rejection.
+        assert_eq!(KsOutcome::identical(0, 5, ALPHA).threshold, f64::INFINITY);
+        assert_eq!(KsOutcome::identical(4, 0, ALPHA).threshold, f64::INFINITY);
+        let both_empty = KsOutcome::identical(0, 0, ALPHA);
+        assert!(!both_empty.rejected);
+        assert_eq!(both_empty.p_value, 1.0);
+    }
+
+    #[test]
     fn one_empty_sample_rejects() {
         let x = WeightedSamples::from_values([1.0, 2.0]);
         let out = ks_two_sample(&x, &WeightedSamples::new(), ALPHA);

@@ -258,6 +258,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_merge_is_identity() {
+        let mut t = TransitionMatrix::new();
+        t.record(BOUNDARY, 1, 2);
+        t.record(1, 2, 3);
+        let before = t.clone();
+        // Empty right-hand side: no-op.
+        t.merge(&TransitionMatrix::new());
+        assert_eq!(t, before);
+        // Empty left-hand side: copies the source.
+        let mut lhs = TransitionMatrix::new();
+        lhs.merge(&before);
+        assert_eq!(lhs, before);
+        // Both empty: equal to a fresh matrix.
+        let mut both = TransitionMatrix::new();
+        both.merge(&TransitionMatrix::new());
+        assert!(both.is_empty());
+        assert_eq!(both, TransitionMatrix::new());
+    }
+
+    #[test]
+    fn scale_zero_empties_the_matrix() {
+        // scale(k) is merging k times into an empty matrix; k = 0 must be
+        // observationally identical to a fresh one.
+        let mut t = TransitionMatrix::new();
+        t.record(BOUNDARY, 1, 2);
+        t.record(1, BOUNDARY, 3);
+        t.scale(0);
+        assert!(t.is_empty());
+        assert_eq!(t.executions(), 0);
+        assert_eq!(t.count(BOUNDARY, 1), 0);
+        assert_eq!(t, TransitionMatrix::new());
+        assert!(t.to_histogram().is_empty());
+        assert_eq!(t.size_bytes(), 0);
+    }
+
+    #[test]
     fn skewed_branch_ratio_fails_ks() {
         // Fixed input: branch taken 95/100; random input: 50/100 — an
         // input-dependent branch inside a warp-visible region.

@@ -1,0 +1,263 @@
+//! Metamorphic conformance checks for the detector (tentpole, layer 4).
+//!
+//! The differential suite (`conformance_differential.rs`) pins the two
+//! interpreters to each other; these tests pin the *detector* to ground
+//! truth. A generated kernel is wrapped into a host program together with
+//! a probe kernel whose access pattern is leaky (secret-indexed table
+//! lookup) or clean (thread-indexed lookup) *by construction*, and the
+//! verdicts must come out `Leaky` / `LeakFree` respectively — invariant
+//! under every knob that must not change semantics: the ASLR seed,
+//! the worker count (parallelism 1/2/4/8), and transient-fault retry
+//! perturbations.
+
+use owl::core::{
+    detect, record_run_with_interpreter, FaultPlan, FaultyProgram, InjectedFault, OwlConfig,
+    RetryPolicy, RunSpec, TracedProgram, Verdict, STREAM_RND,
+};
+use owl::gpu::build::KernelBuilder;
+use owl::gpu::exec::Interpreter;
+use owl::gpu::genkernel::{run_kernel, GeneratedKernel, SplitMix64};
+use owl::gpu::grid::LaunchConfig;
+use owl::gpu::isa::{MemWidth, SpecialReg};
+use owl::gpu::KernelProgram;
+use owl::host::{Device, HostError};
+
+const RUNS: usize = 10;
+/// Base for the metamorphic kernel population — distinct from the
+/// differential sweep's `SEED_BASE` so the two suites cover different
+/// kernels.
+const SEED_BASE: u64 = 0x0C0_FFEE_0000_0000;
+
+/// First generation seed at/after `base` whose kernel completes (the
+/// generator deliberately plants faulting kernels; the metamorphic
+/// programs need clean completions so the verdict reflects the probe).
+fn first_completing_seed(base: u64) -> u64 {
+    (0..1024)
+        .map(|i| base + i)
+        .find(|&seed| {
+            let k = GeneratedKernel::generate(seed);
+            run_kernel(&k, Interpreter::Lowered).result.is_ok()
+        })
+        .expect("a completing kernel within 1024 seeds")
+}
+
+fn probe_kernel(leaky: bool) -> KernelProgram {
+    let b = KernelBuilder::new(if leaky { "probe_leaky" } else { "probe_clean" });
+    let table = b.param(0);
+    let secret = b.param(1);
+    let tid = b.special(SpecialReg::GlobalTid);
+    // Leaky: the whole warp indexes the table with the secret (an AES-style
+    // key-dependent lookup). Clean: the index depends only on the thread
+    // id, so the trace is a pure function of the geometry.
+    let idx = if leaky {
+        b.and(secret, 63u64)
+    } else {
+        let _ = secret;
+        b.and(tid, 63u64)
+    };
+    let v = b.load_global(b.add(table, b.mul(idx, 8u64)), MemWidth::B8);
+    b.store_global(
+        b.add(table, b.mul(b.and(tid, 63u64), 8u64)),
+        v,
+        MemWidth::B8,
+    );
+    b.finish()
+}
+
+/// A generated fuzz kernel embedded in a host program, followed by a probe
+/// kernel with known ground truth. The fuzz kernel always runs with fixed
+/// public arguments, so any secret dependence comes from the probe alone.
+struct FuzzHarness {
+    kernel: GeneratedKernel,
+    probe: KernelProgram,
+    leaky: bool,
+}
+
+impl FuzzHarness {
+    fn new(seed: u64, leaky: bool) -> Self {
+        FuzzHarness {
+            kernel: GeneratedKernel::generate(first_completing_seed(seed)),
+            probe: probe_kernel(leaky),
+            leaky,
+        }
+    }
+}
+
+impl TracedProgram for FuzzHarness {
+    type Input = u64;
+
+    fn name(&self) -> &str {
+        if self.leaky {
+            "fuzz-harness-leaky"
+        } else {
+            "fuzz-harness-clean"
+        }
+    }
+
+    fn run(&self, device: &mut Device, secret: &u64) -> Result<(), HostError> {
+        // Recreate the generated kernel's device state through the host
+        // runtime, mirroring `GeneratedKernel::setup` (same fill sequence).
+        let mut rng = SplitMix64::new(self.kernel.init_seed);
+        let mut args = Vec::new();
+        for &size in &self.kernel.buffers {
+            let ptr = device.malloc(size as usize);
+            let bytes: Vec<u8> = (0..size).map(|_| rng.next_u64() as u8).collect();
+            device.memcpy_h2d(ptr, &bytes)?;
+            args.push(ptr.addr());
+        }
+        let cbytes: Vec<u8> = (0..128).map(|_| rng.next_u64() as u8).collect();
+        device.memcpy_to_symbol(&cbytes);
+        for &(w, h) in &self.kernel.textures {
+            let texels: Vec<u8> = (0..w * h).map(|_| rng.next_u64() as u8).collect();
+            device.bind_texture(w, h, &texels);
+        }
+        args.extend_from_slice(&self.kernel.scalars);
+        device.launch(&self.kernel.program, self.kernel.config, &args)?;
+
+        let table = device.malloc(64 * 8);
+        device.launch(
+            &self.probe,
+            LaunchConfig::new(1u32, 64u32),
+            &[table.addr(), *secret],
+        )?;
+        Ok(())
+    }
+
+    fn random_input(&self, seed: u64) -> u64 {
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xF02
+    }
+}
+
+fn config() -> OwlConfig {
+    OwlConfig::builder().runs(RUNS).parallelism(2).build()
+}
+
+const INPUTS: [u64; 4] = [3, 10, 21, 36];
+
+/// Ground truth: the secret-indexed probe is flagged `Leaky`, the
+/// thread-indexed probe comes back `LeakFree`, across several distinct
+/// generated carrier kernels.
+#[test]
+fn ground_truth_verdicts_over_generated_carriers() {
+    for lane in 0..3u64 {
+        let seed = SEED_BASE + lane * 0x1_0000;
+        let leaky = detect(&FuzzHarness::new(seed, true), &INPUTS, &config()).expect("detect");
+        assert_eq!(
+            leaky.verdict,
+            Verdict::Leaky,
+            "carrier seed base {seed:#x}: secret-indexed probe must be flagged"
+        );
+        assert!(!leaky.report.leaks.is_empty());
+        let clean = detect(&FuzzHarness::new(seed, false), &INPUTS, &config()).expect("detect");
+        assert_eq!(
+            clean.verdict,
+            Verdict::LeakFree,
+            "carrier seed base {seed:#x}: thread-indexed probe must be clean"
+        );
+    }
+}
+
+/// The verdict (and the whole leak report) is invariant under the ASLR
+/// seed: address normalisation makes layouts irrelevant.
+#[test]
+fn verdict_invariant_under_aslr_seed() {
+    let program = FuzzHarness::new(SEED_BASE, true);
+    let baseline = detect(&program, &INPUTS, &config()).expect("detect");
+    for aslr in [1u64, 42, 0xDEAD_BEEF] {
+        let cfg = OwlConfig::builder()
+            .runs(RUNS)
+            .parallelism(2)
+            .aslr_seed(aslr)
+            .build();
+        let detection = detect(&program, &INPUTS, &cfg).expect("detect");
+        assert_eq!(detection.verdict, baseline.verdict, "aslr seed {aslr}");
+        assert_eq!(detection.report, baseline.report, "aslr seed {aslr}");
+    }
+}
+
+/// The verdict and report are bit-identical for every worker count.
+#[test]
+fn verdict_invariant_under_parallelism() {
+    for (leaky, expected) in [(true, Verdict::Leaky), (false, Verdict::LeakFree)] {
+        let program = FuzzHarness::new(SEED_BASE, leaky);
+        let baseline = detect(
+            &program,
+            &INPUTS,
+            &OwlConfig::builder().runs(RUNS).parallelism(1).build(),
+        )
+        .expect("detect");
+        assert_eq!(baseline.verdict, expected);
+        for parallelism in [2usize, 4, 8] {
+            let cfg = OwlConfig::builder()
+                .runs(RUNS)
+                .parallelism(parallelism)
+                .build();
+            let detection = detect(&program, &INPUTS, &cfg).expect("detect");
+            assert_eq!(
+                detection.verdict, baseline.verdict,
+                "parallelism {parallelism}"
+            );
+            assert_eq!(
+                detection.report, baseline.report,
+                "parallelism {parallelism}"
+            );
+            assert_eq!(
+                detection.counters, baseline.counters,
+                "parallelism {parallelism}"
+            );
+        }
+    }
+}
+
+/// A transient fault recovered by the retry budget must not move the
+/// verdict or the report: attempt-0 identity is restored on success and
+/// retried runs stay pure functions of their spec.
+#[test]
+fn verdict_invariant_under_retry_perturbation() {
+    let program = FuzzHarness::new(SEED_BASE, true);
+    let cfg = OwlConfig {
+        runs: RUNS,
+        parallelism: 2,
+        retry: RetryPolicy::with_max_attempts(3),
+        ..OwlConfig::default()
+    };
+    let baseline = detect(&program, &INPUTS, &cfg).expect("detect");
+    // Fail the first two attempts of one random-stream evidence run; the
+    // third succeeds within the budget.
+    let plan = FaultPlan::new().fail_attempts(STREAM_RND, 2, 2, InjectedFault::Memcpy);
+    let perturbed =
+        detect(&FaultyProgram::new(&program, plan), &INPUTS, &cfg).expect("detect survives");
+    assert_eq!(perturbed.verdict, baseline.verdict);
+    assert_eq!(perturbed.report, baseline.report);
+    assert!(
+        perturbed.faults.records().is_empty(),
+        "transient fault must recover"
+    );
+    assert_eq!(perturbed.fault_counters.evidence.retried, 2);
+}
+
+/// End-to-end interpreter seam: recording the metamorphic harness under
+/// the reference oracle yields the same trace and digest as the lowered
+/// fast path.
+#[test]
+fn harness_recording_agrees_across_interpreters() {
+    let program = FuzzHarness::new(SEED_BASE, true);
+    let spec = RunSpec {
+        warp_size: 32,
+        aslr_seed: Some(5),
+        stream: 0,
+        run_index: 0,
+        attempt: 0,
+    };
+    for secret in INPUTS {
+        let (fast, fast_counters) =
+            record_run_with_interpreter(&program, &secret, &spec, Interpreter::Lowered)
+                .expect("lowered recording");
+        let (oracle, oracle_counters) =
+            record_run_with_interpreter(&program, &secret, &spec, Interpreter::Oracle)
+                .expect("oracle recording");
+        assert_eq!(fast, oracle);
+        assert_eq!(fast.digest(), oracle.digest());
+        assert_eq!(fast_counters, oracle_counters);
+    }
+}
