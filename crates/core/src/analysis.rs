@@ -18,43 +18,35 @@
 //! attributed to non-deterministic execution noise and *not* reported —
 //! this is the paper's false-positive defence.
 
+use crate::engine::{AnalysisEngine, Engine};
 use crate::evidence::Evidence;
 use crate::report::{Leak, LeakKind, LeakLocation, LeakReport};
 use owl_dcfg::diff::{myers_align, AlignOp};
-use owl_stats::ks::ks_two_sample;
 use owl_stats::mi::class_mi_bits;
-use owl_stats::welch::welch_t_test;
-use owl_stats::{Histogram, WeightedSamples};
+use owl_stats::{EngineOutcome, Histogram, WeightedSamples};
 use std::collections::BTreeSet;
 
-/// Which two-sample test decides whether a feature distribution is
-/// input-dependent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TestMethod {
-    /// The paper's choice: two-sample Kolmogorov–Smirnov, no normality
-    /// assumption.
-    #[default]
-    Ks,
-    /// The prior-work baseline (TVLA-style Welch's t-test, |t| > 4.5) —
-    /// kept for the ablation; it misses equal-mean distribution changes.
-    Welch,
-}
+/// Deprecated name of [`Engine`], kept for one release so existing
+/// callers (`AnalysisConfig { method: TestMethod::Ks, .. }`) compile
+/// unchanged. `TestMethod::Welch` resolves to [`Engine::Tvla`]. Use
+/// [`Engine`] in new code.
+pub type TestMethod = Engine;
 
 /// Parameters of the analysis phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalysisConfig {
     /// Confidence level of the KS tests (the paper uses 0.95).
     pub alpha: f64,
-    /// The distribution test to use ([`TestMethod::Ks`] unless running the
-    /// ablation).
-    pub method: TestMethod,
+    /// The analysis engine deciding per-feature input dependence
+    /// ([`Engine::Ks`] unless overridden).
+    pub method: Engine,
 }
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
         AnalysisConfig {
             alpha: 0.95,
-            method: TestMethod::Ks,
+            method: Engine::Ks,
         }
     }
 }
@@ -80,10 +72,16 @@ impl AnalysisConfigBuilder {
         self
     }
 
-    /// The distribution test to use.
-    pub fn method(mut self, method: TestMethod) -> Self {
-        self.config.method = method;
+    /// The analysis engine deciding per-feature input dependence.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.method = engine;
         self
+    }
+
+    /// Deprecated spelling of [`AnalysisConfigBuilder::engine`], kept for
+    /// one release.
+    pub fn method(self, method: TestMethod) -> Self {
+        self.engine(method)
     }
 
     /// Finishes the builder.
@@ -92,63 +90,10 @@ impl AnalysisConfigBuilder {
     }
 }
 
-/// The outcome of one two-sample test, method-agnostic.
-struct TestOutcome {
-    statistic: f64,
-    p_value: f64,
-    rejected: bool,
-}
-
-/// Survival function of the standard normal, Abramowitz–Stegun 26.2.17
-/// (absolute error < 7.5e-8) — used to give Welch outcomes a comparable
-/// p-value for report ranking.
-fn normal_sf(x: f64) -> f64 {
-    let x = x.abs();
-    let t = 1.0 / (1.0 + 0.2316419 * x);
-    let poly = t
-        * (0.319381530
-            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
-    (1.0 / (2.0 * std::f64::consts::PI).sqrt()) * (-x * x / 2.0).exp() * poly
-}
-
-fn run_test(x: &WeightedSamples, y: &WeightedSamples, config: &AnalysisConfig) -> TestOutcome {
-    match config.method {
-        TestMethod::Ks => {
-            let out = ks_two_sample(x, y, config.alpha);
-            TestOutcome {
-                statistic: out.statistic,
-                p_value: out.p_value,
-                rejected: out.rejected,
-            }
-        }
-        TestMethod::Welch => {
-            // Present-vs-absent features still count as structural
-            // differences under any method.
-            match (x.is_empty(), y.is_empty()) {
-                (true, true) => {
-                    return TestOutcome {
-                        statistic: 0.0,
-                        p_value: 1.0,
-                        rejected: false,
-                    }
-                }
-                (true, false) | (false, true) => {
-                    return TestOutcome {
-                        statistic: f64::INFINITY,
-                        p_value: 0.0,
-                        rejected: true,
-                    }
-                }
-                (false, false) => {}
-            }
-            let out = welch_t_test(x, y, 4.5);
-            TestOutcome {
-                statistic: out.statistic.abs(),
-                p_value: (2.0 * normal_sf(out.statistic)).min(1.0),
-                rejected: out.rejected,
-            }
-        }
-    }
+/// The engine's own severity estimate when it quantifies, otherwise an
+/// independent MI estimate — computed lazily, only for rejected features.
+fn severity_bits(out: &EngineOutcome, fs: &WeightedSamples, rs: &WeightedSamples) -> f64 {
+    out.bits.unwrap_or_else(|| class_mi_bits(fs, rs))
 }
 
 /// A structural (non-statistical) leak: maximal deviation by construction.
@@ -163,8 +108,30 @@ fn structural(kind: LeakKind, location: LeakLocation, detail: String) -> Leak {
     }
 }
 
+/// Runs the full leakage test of §VII-C once per engine and returns the
+/// per-engine reports in [`Engine::ALL`] order — the input of the
+/// cross-engine comparison mode. The evidence is shared; only the phase-3
+/// decision point differs between entries.
+pub fn engine_reports(
+    fix: &Evidence,
+    rnd: &Evidence,
+    config: &AnalysisConfig,
+) -> Vec<(Engine, LeakReport)> {
+    Engine::ALL
+        .iter()
+        .map(|&engine| {
+            let cfg = AnalysisConfig {
+                method: engine,
+                ..*config
+            };
+            (engine, leakage_test(fix, rnd, &cfg))
+        })
+        .collect()
+}
+
 /// Runs the full leakage test of §VII-C.
 pub fn leakage_test(fix: &Evidence, rnd: &Evidence, config: &AnalysisConfig) -> LeakReport {
+    let engine = config.method.build(config.alpha);
     let mut report = LeakReport::default();
 
     test_mallocs(fix, rnd, &mut report);
@@ -202,7 +169,7 @@ pub fn leakage_test(fix: &Evidence, rnd: &Evidence, config: &AnalysisConfig) -> 
             AlignOp::Match(i, j) => {
                 report.tested_invocations += 1;
                 let mut partial = LeakReport::default();
-                test_matched_invocation(fix, i, rnd, j, config, &mut partial);
+                test_matched_invocation(fix, i, rnd, j, &*engine, &mut partial);
                 report.tested_nodes += partial.tested_nodes;
                 report.tested_instructions += partial.tested_instructions;
                 partial.tested_nodes = 0;
@@ -249,7 +216,7 @@ fn test_matched_invocation(
     i: usize,
     rnd: &Evidence,
     j: usize,
-    config: &AnalysisConfig,
+    engine: &dyn AnalysisEngine,
     report: &mut LeakReport,
 ) {
     let fi = &fix.invocations[i];
@@ -269,14 +236,14 @@ fn test_matched_invocation(
     // presence gaps at aligned positions).
     let fp = presence_samples(fi.present_runs, fix.runs);
     let rp = presence_samples(rj.present_runs, rnd.runs);
-    let out = run_test(&fp, &rp, config);
+    let out = engine.compare(&fp, &rp);
     if out.rejected {
         report.leaks.push(Leak {
             kind: LeakKind::Kernel,
             location: LeakLocation::Invocation(key.clone()),
             statistic: out.statistic,
             p_value: out.p_value,
-            severity_bits: class_mi_bits(&fp, &rp),
+            severity_bits: severity_bits(&out, &fp, &rp),
             detail: format!(
                 "invocation present in {}/{} fixed vs {}/{} random runs",
                 fi.present_runs, fix.runs, rj.present_runs, rnd.runs
@@ -297,14 +264,14 @@ fn test_matched_invocation(
         report.tested_nodes += 1;
         let fs = node_transition_samples(&fi.adcfg, bb);
         let rs = node_transition_samples(&rj.adcfg, bb);
-        let out = run_test(&fs, &rs, config);
+        let out = engine.compare(&fs, &rs);
         if out.rejected {
             report.leaks.push(Leak {
                 kind: LeakKind::ControlFlow,
                 location: LeakLocation::Block(key.clone(), bb),
                 statistic: out.statistic,
                 p_value: out.p_value,
-                severity_bits: class_mi_bits(&fs, &rs),
+                severity_bits: severity_bits(&out, &fs, &rs),
                 detail: "control-flow transition distribution differs".into(),
             });
         }
@@ -333,13 +300,13 @@ fn test_matched_invocation(
                     let mut worst: Option<(f64, f64, f64, u32)> = None;
                     for (jj, (fh, rh)) in fv.iter().zip(rv.iter()).enumerate() {
                         let (fs, rs) = (fh.to_samples(), rh.to_samples());
-                        let out = run_test(&fs, &rs, config);
+                        let out = engine.compare(&fs, &rs);
                         if out.rejected && worst.map(|(_, p, _, _)| out.p_value < p).unwrap_or(true)
                         {
                             worst = Some((
                                 out.statistic,
                                 out.p_value,
-                                class_mi_bits(&fs, &rs),
+                                severity_bits(&out, &fs, &rs),
                                 jj as u32,
                             ));
                         }
@@ -364,14 +331,14 @@ fn test_matched_invocation(
                         let mut worst: Option<(f64, f64, f64, u32)> = None;
                         for (jj, (fh, rh)) in fc.iter().zip(rc.iter()).enumerate() {
                             let (fs, rs) = (fh.to_samples(), rh.to_samples());
-                            let out = run_test(&fs, &rs, config);
+                            let out = engine.compare(&fs, &rs);
                             if out.rejected
                                 && worst.map(|(_, p, _, _)| out.p_value < p).unwrap_or(true)
                             {
                                 worst = Some((
                                     out.statistic,
                                     out.p_value,
-                                    class_mi_bits(&fs, &rs),
+                                    severity_bits(&out, &fs, &rs),
                                     jj as u32,
                                 ));
                             }

@@ -15,9 +15,11 @@
 //!    input dependence.
 //! 3. **Leakage analysis** ([`analysis`]): repeated fixed-input and
 //!    random-input executions are merged into evidence ([`evidence`]) and
-//!    compared feature-by-feature with the two-sample KS test; failures
-//!    are located as kernel, device control-flow, or device data-flow
-//!    leaks ([`report`]).
+//!    compared feature-by-feature by a pluggable [`engine`] (the paper's
+//!    two-sample KS test by default; TVLA and mutual-information engines
+//!    are selectable, and a comparison mode cross-checks all three);
+//!    failures are located as kernel, device control-flow, or device
+//!    data-flow leaks ([`report`]).
 //!
 //! # Example
 //!
@@ -76,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod error;
 pub mod evidence;
 pub mod fault;
@@ -90,7 +93,13 @@ pub mod summary;
 pub mod trace;
 pub mod tracer;
 
-pub use analysis::{leakage_test, AnalysisConfig, AnalysisConfigBuilder, TestMethod};
+pub use analysis::{
+    engine_reports, leakage_test, AnalysisConfig, AnalysisConfigBuilder, TestMethod,
+};
+pub use engine::{
+    AnalysisEngine, Engine, EngineComparison, EngineRow, EngineVerdict, KsEngine, MiEngine,
+    TvlaEngine,
+};
 pub use error::{DetectError, DetectPhase, RunContext};
 pub use evidence::Evidence;
 pub use fault::{
@@ -106,6 +115,7 @@ pub use owl::{
 pub use owl_metrics::{
     FaultCounters, PhaseFaultCounters, PhaseSpan, SimCounters, Spans, SCHEMA_VERSION,
 };
+pub use owl_stats::EngineOutcome;
 pub use program::TracedProgram;
 pub use record::{
     record_run, record_run_metered, record_run_with_interpreter, record_trace, record_trace_on,

@@ -1,6 +1,7 @@
 //! The Owl detector: the three phases end to end.
 
-use crate::analysis::{leakage_test, AnalysisConfig, TestMethod};
+use crate::analysis::{engine_reports, leakage_test, AnalysisConfig, TestMethod};
+use crate::engine::{Engine, EngineComparison};
 use crate::error::{DetectError, DetectPhase, RunContext};
 use crate::evidence::Evidence;
 use crate::fault::{record_run_with_retry, FaultLog, FaultRecord, RetryPolicy, RunAttempt};
@@ -40,8 +41,14 @@ pub struct OwlConfig {
     /// Run the leakage analysis even when filtering found a single input
     /// class (the paper would stop and declare the program leak-free).
     pub force_analysis: bool,
-    /// The distribution test (KS unless running the Welch ablation).
-    pub method: TestMethod,
+    /// The analysis engine deciding per-feature input dependence (the
+    /// paper's KS test unless overridden; see [`Engine`]).
+    pub method: Engine,
+    /// Run *every* engine over the shared evidence and record the
+    /// cross-engine agreement table in [`Detection::engine_comparison`].
+    /// The primary report and verdict still come from [`OwlConfig::
+    /// method`], so exit codes and verdicts are unchanged by this flag.
+    pub compare_engines: bool,
     /// SIMT warp width used for every recorded execution (32 = NVIDIA
     /// warps, 64 = AMD-style wavefronts).
     pub warp_size: u32,
@@ -77,7 +84,8 @@ impl Default for OwlConfig {
             alpha: 0.95,
             seed: 0x0071_5eed,
             force_analysis: false,
-            method: TestMethod::Ks,
+            method: Engine::Ks,
+            compare_engines: false,
             warp_size: owl_gpu::grid::WARP_SIZE,
             aslr_seed: None,
             parallelism: std::thread::available_parallelism()
@@ -138,9 +146,29 @@ impl OwlConfigBuilder {
         self
     }
 
-    /// The distribution test to use.
-    pub fn method(mut self, method: TestMethod) -> Self {
-        self.config.method = method;
+    /// The analysis engine deciding per-feature input dependence.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.method = engine;
+        self
+    }
+
+    /// Deprecated spelling of [`OwlConfigBuilder::engine`], kept for one
+    /// release.
+    pub fn method(self, method: TestMethod) -> Self {
+        self.engine(method)
+    }
+
+    /// Runs every engine over the shared evidence and records the
+    /// cross-engine agreement table ([`Detection::engine_comparison`]).
+    pub fn engines_all(mut self) -> Self {
+        self.config.compare_engines = true;
+        self
+    }
+
+    /// Explicitly sets comparison mode (see
+    /// [`OwlConfigBuilder::engines_all`]).
+    pub fn compare_engines(mut self, compare: bool) -> Self {
+        self.config.compare_engines = compare;
         self
     }
 
@@ -254,6 +282,10 @@ pub struct Detection<I> {
     /// All-zero on a fault-free detection; merged associatively from
     /// per-chunk counters, so bit-identical for every `parallelism`.
     pub fault_counters: FaultCounters,
+    /// The cross-engine agreement table, present only when the detection
+    /// ran with [`OwlConfig::compare_engines`] and the analysis phase
+    /// executed (deterministic like the report itself).
+    pub engine_comparison: Option<EngineComparison>,
 }
 
 /// One evidence-phase work item: a contiguous chunk of run indices for one
@@ -436,6 +468,7 @@ where
             spans,
             faults,
             fault_counters,
+            engine_comparison: None,
         });
     }
 
@@ -461,6 +494,7 @@ where
             spans,
             faults,
             fault_counters,
+            engine_comparison: None,
         });
     }
 
@@ -632,41 +666,83 @@ where
     let below_quorum = !rnd_ok || class_ok.iter().any(|&ok| !ok);
 
     // Distribution tests: one per class, fanned out, merged in class order.
+    // In comparison mode every engine analyses the same evidence; the
+    // per-engine reports merge engine-wise in class order (deterministic),
+    // the primary report is the configured engine's, and the agreement
+    // table is derived from the merged per-engine reports.
     let t2 = Instant::now();
     let analysis_config = AnalysisConfig {
         alpha: config.alpha,
         method: config.method,
     };
-    let class_reports = parallel_map(workers, fixes.len(), |c| {
-        if !rnd_ok || !class_ok[c] {
-            return None;
-        }
-        Some(leakage_test(&fixes[c], &rnd, &analysis_config))
-    });
+    let quarantine_analysis_panic =
+        |c: usize, message: &str, fault_counters: &mut FaultCounters, faults: &mut FaultLog| {
+            fault_counters.analysis.panics += 1;
+            fault_counters.analysis.failed_attempts += 1;
+            fault_counters.analysis.quarantined += 1;
+            faults.push(FaultRecord {
+                context: RunContext {
+                    phase: DetectPhase::Analysis,
+                    class: Some(c),
+                    stream: fix_stream(c),
+                    run_index: 0,
+                    attempt: 0,
+                },
+                attempts: 1,
+                error: DetectError::WorkerPanic {
+                    message: message.to_string(),
+                },
+            });
+        };
     let mut report = LeakReport::default();
     let mut analysis_lost = false;
-    for (c, slot) in class_reports.iter().enumerate() {
-        match slot {
-            Ok(Some(class_report)) => report.merge(class_report),
-            Ok(None) => {} // below quorum — already covered by `below_quorum`
-            Err(panic) => {
-                analysis_lost = true;
-                fault_counters.analysis.panics += 1;
-                fault_counters.analysis.failed_attempts += 1;
-                fault_counters.analysis.quarantined += 1;
-                faults.push(FaultRecord {
-                    context: RunContext {
-                        phase: DetectPhase::Analysis,
-                        class: Some(c),
-                        stream: fix_stream(c),
-                        run_index: 0,
-                        attempt: 0,
-                    },
-                    attempts: 1,
-                    error: DetectError::WorkerPanic {
-                        message: panic.message.clone(),
-                    },
-                });
+    let mut engine_comparison = None;
+    if config.compare_engines {
+        let class_reports = parallel_map(workers, fixes.len(), |c| {
+            if !rnd_ok || !class_ok[c] {
+                return None;
+            }
+            Some(engine_reports(&fixes[c], &rnd, &analysis_config))
+        });
+        let mut merged: Vec<(Engine, LeakReport)> = Engine::ALL
+            .iter()
+            .map(|&engine| (engine, LeakReport::default()))
+            .collect();
+        for (c, slot) in class_reports.iter().enumerate() {
+            match slot {
+                Ok(Some(per_engine)) => {
+                    for ((_, acc), (_, class_report)) in merged.iter_mut().zip(per_engine) {
+                        acc.merge(class_report);
+                    }
+                }
+                Ok(None) => {} // below quorum — already covered by `below_quorum`
+                Err(panic) => {
+                    analysis_lost = true;
+                    quarantine_analysis_panic(c, &panic.message, &mut fault_counters, &mut faults);
+                }
+            }
+        }
+        report = merged
+            .iter()
+            .find(|(engine, _)| *engine == config.method)
+            .map(|(_, r)| r.clone())
+            .unwrap_or_default();
+        engine_comparison = Some(EngineComparison::from_reports(&merged));
+    } else {
+        let class_reports = parallel_map(workers, fixes.len(), |c| {
+            if !rnd_ok || !class_ok[c] {
+                return None;
+            }
+            Some(leakage_test(&fixes[c], &rnd, &analysis_config))
+        });
+        for (c, slot) in class_reports.iter().enumerate() {
+            match slot {
+                Ok(Some(class_report)) => report.merge(class_report),
+                Ok(None) => {} // below quorum — already covered by `below_quorum`
+                Err(panic) => {
+                    analysis_lost = true;
+                    quarantine_analysis_panic(c, &panic.message, &mut fault_counters, &mut faults);
+                }
             }
         }
     }
@@ -701,5 +777,6 @@ where
         spans,
         faults,
         fault_counters,
+        engine_comparison,
     })
 }

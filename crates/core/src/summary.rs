@@ -16,6 +16,7 @@
 //! Both documents carry [`SCHEMA_VERSION`] under `"schema_version"`; see
 //! `owl-metrics` for the bump policy.
 
+use crate::engine::EngineComparison;
 use crate::fault::FaultLog;
 use crate::owl::{Detection, OwlConfig, PhaseStats, Verdict};
 use crate::report::LeakReport;
@@ -51,8 +52,11 @@ pub struct DetectionSummary {
     pub faults: FaultCounters,
     /// Every quarantined run, in run order (empty when fault-free).
     pub fault_log: FaultLog,
-    /// The merged leak report.
+    /// The merged leak report (produced by the configured engine).
     pub report: LeakReport,
+    /// The cross-engine agreement table (`null` unless the detection ran
+    /// in comparison mode).
+    pub engine_comparison: Option<EngineComparison>,
 }
 
 /// The [`OwlConfig`] fields echoed into [`DetectionSummary`].
@@ -70,8 +74,11 @@ pub struct ConfigEcho {
     pub seed: u64,
     /// Whether analysis was forced for a single input class.
     pub force_analysis: bool,
-    /// The distribution test (`"ks"` / `"welch"`).
-    pub method: String,
+    /// The analysis engine (`"ks"` / `"tvla"` / `"mi"`).
+    pub engine: String,
+    /// Whether every engine ran and the summary carries the cross-engine
+    /// agreement table.
+    pub compare_engines: bool,
     /// SIMT warp width.
     pub warp_size: u32,
     /// Simulated-ASLR seed, when enabled.
@@ -101,10 +108,8 @@ impl DetectionSummary {
                 alpha: config.alpha,
                 seed: config.seed,
                 force_analysis: config.force_analysis,
-                method: match config.method {
-                    crate::analysis::TestMethod::Ks => "ks".to_string(),
-                    crate::analysis::TestMethod::Welch => "welch".to_string(),
-                },
+                engine: config.method.name().to_string(),
+                compare_engines: config.compare_engines,
                 warp_size: config.warp_size,
                 aslr_seed: config.aslr_seed,
                 retry_max_attempts: config.retry.max_attempts,
@@ -114,6 +119,7 @@ impl DetectionSummary {
             faults: detection.fault_counters,
             fault_log: detection.faults.clone(),
             report: detection.report.clone(),
+            engine_comparison: detection.engine_comparison.clone(),
         }
     }
 }
@@ -244,6 +250,7 @@ mod tests {
             },
             faults: FaultLog::new(),
             fault_counters: FaultCounters::default(),
+            engine_comparison: None,
         }
     }
 
@@ -283,6 +290,14 @@ mod tests {
         let config_echo = get(&value, "config");
         assert_eq!(*get(config_echo, "runs"), serde_json::Value::Int(20));
         assert_eq!(*get(config_echo, "aslr_seed"), serde_json::Value::Int(7));
+        assert_eq!(get(config_echo, "engine").as_str(), Some("ks"));
+        assert_eq!(
+            *get(config_echo, "compare_engines"),
+            serde_json::Value::Bool(false)
+        );
+        // Comparison mode off: the table is explicit null, not absent.
+        assert!(has_key(&value, "engine_comparison"));
+        assert_eq!(*get(&value, "engine_comparison"), serde_json::Value::Null);
         // The determinism boundary: no parallelism, no timings.
         assert!(!has_key(config_echo, "parallelism"));
         assert!(!json.contains("_ms"));

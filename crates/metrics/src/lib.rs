@@ -50,7 +50,14 @@ use std::time::{Duration, Instant};
 /// ([`FaultCounters`]) and a quarantine log, and the verdict vocabulary
 /// gained `"inconclusive"` — a meaning change for consumers that switch on
 /// the verdict, hence the bump.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3: the analysis engine became pluggable. The config echo's
+/// `"method"` key was renamed to `"engine"` (values `"ks"` / `"tvla"` /
+/// `"mi"`; the old `"welch"` value is now spelled `"tvla"`) and gained
+/// `"compare_engines"`; the summary gained `"engine_comparison"` (the
+/// cross-engine agreement table, `null` outside comparison mode). The
+/// rename and the value change are breaking, hence the bump.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Execution counters accumulated by the SIMT interpreter over one or more
 /// kernel launches.

@@ -11,8 +11,12 @@
 //! * [`ks`] — the two-sample Kolmogorov–Smirnov test used by the paper
 //!   (eqs. (1)–(4)), chosen over Welch's t-test because it does not assume
 //!   normality,
-//! * [`welch`] — Welch's t-test, kept as the prior-work baseline for
-//!   ablation experiments,
+//! * [`welch`] — Welch's t-test, the TVLA-style prior-work baseline (and
+//!   the statistic behind the detector's TVLA engine),
+//! * [`mi`] — mutual-information leakage quantification (bits per
+//!   observation, the statistic behind the detector's MI engine),
+//! * [`engine`] — the method-agnostic [`EngineOutcome`] every analysis
+//!   engine reduces its result to,
 //! * [`Histogram`] — weighted value histograms (`H_addr` in the paper),
 //! * [`TransitionMatrix`] — per-node control-flow transition matrices
 //!   (eqs. (5)–(8), flattened into the `H_cf` histogram).
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod ecdf;
+pub mod engine;
 pub mod histogram;
 pub mod ks;
 pub mod mi;
@@ -46,6 +51,7 @@ pub mod transition;
 pub mod welch;
 
 pub use ecdf::Ecdf;
+pub use engine::EngineOutcome;
 pub use histogram::Histogram;
 pub use ks::{ks_two_sample, KsOutcome};
 pub use mi::class_mi_bits;

@@ -32,6 +32,18 @@ fn entropy_bits<'a>(counts: impl Iterator<Item = &'a f64>, total: f64) -> f64 {
         .sum()
 }
 
+/// The support-point key of a sample value: its bit pattern, with `-0.0`
+/// canonicalised to `+0.0` so values that compare equal under `==` (the
+/// coalescing rule of [`WeightedSamples`]) never split into two support
+/// points across the two sides.
+fn support_key(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
 /// Mutual information, in bits, between a balanced binary class variable
 /// and the feature with per-class sample sets `x` and `y`.
 ///
@@ -65,10 +77,10 @@ pub fn class_mi_bits(x: &WeightedSamples, y: &WeightedSamples) -> f64 {
     let mut px: BTreeMap<u64, f64> = BTreeMap::new();
     let mut py: BTreeMap<u64, f64> = BTreeMap::new();
     for &(v, w) in x.pairs() {
-        *px.entry(v.to_bits()).or_insert(0.0) += w as f64 / nx;
+        *px.entry(support_key(v)).or_insert(0.0) += w as f64 / nx;
     }
     for &(v, w) in y.pairs() {
-        *py.entry(v.to_bits()).or_insert(0.0) += w as f64 / ny;
+        *py.entry(support_key(v)).or_insert(0.0) += w as f64 / ny;
     }
     let support: std::collections::BTreeSet<u64> = px.keys().chain(py.keys()).copied().collect();
     let mix: Vec<f64> = support
@@ -129,6 +141,51 @@ mod tests {
         let x = WeightedSamples::from_pairs([(0.0, 7), (3.0, 2)]);
         let y = WeightedSamples::from_pairs([(0.0, 2), (5.0, 9)]);
         assert!((class_mi_bits(&x, &y) - class_mi_bits(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_samples_are_well_defined() {
+        // One observation per side: identical values leak nothing,
+        // distinct values are disjoint supports and leak the full bit.
+        let a = WeightedSamples::from_values([7.0]);
+        let b = WeightedSamples::from_values([9.0]);
+        assert_eq!(class_mi_bits(&a, &a), 0.0);
+        assert!((class_mi_bits(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_zero_matches_positive_zero() {
+        // -0.0 == 0.0 under the coalescing rule of WeightedSamples; the
+        // estimator must not split them into two support points.
+        let pos = WeightedSamples::from_pairs([(0.0, 5)]);
+        let neg = WeightedSamples::from_pairs([(-0.0, 5)]);
+        assert_eq!(class_mi_bits(&pos, &neg), 0.0);
+    }
+
+    #[test]
+    fn merge_then_compare_equals_compare_of_merged() {
+        // Building one side from incrementally merged halves must yield
+        // bit-identical MI to building it in one shot: the estimator is a
+        // pure function of the weighted multiset.
+        let half_a = WeightedSamples::from_pairs([(0.0, 3), (1.0, 2)]);
+        let half_b = WeightedSamples::from_pairs([(1.0, 4), (2.0, 1)]);
+        let mut merged = half_a.clone();
+        merged.merge(&half_b);
+        let oneshot = WeightedSamples::from_pairs([(0.0, 3), (1.0, 6), (2.0, 1)]);
+        assert_eq!(merged, oneshot);
+        let other = WeightedSamples::from_pairs([(0.0, 8), (3.0, 2)]);
+        assert_eq!(
+            class_mi_bits(&merged, &other).to_bits(),
+            class_mi_bits(&oneshot, &other).to_bits()
+        );
+    }
+
+    #[test]
+    fn estimate_is_clamped_to_unit_interval() {
+        let x = WeightedSamples::from_pairs([(0.0, 1), (1.0, 1), (2.0, 1)]);
+        let y = WeightedSamples::from_pairs([(10.0, 1), (11.0, 1)]);
+        let mi = class_mi_bits(&x, &y);
+        assert!((0.0..=1.0).contains(&mi), "{mi}");
     }
 
     #[test]

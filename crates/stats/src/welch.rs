@@ -22,6 +22,31 @@ pub struct WelchOutcome {
     pub threshold: f64,
 }
 
+impl WelchOutcome {
+    /// A comparable two-sided p-value from the normal approximation
+    /// `2·Φ̄(|t|)`, clamped to 1.
+    ///
+    /// TVLA decides on the raw |t| threshold, not on a p-value; this
+    /// approximation exists so t-test outcomes can be *ranked* against KS
+    /// outcomes in reports. The standard-normal survival function uses
+    /// Abramowitz–Stegun 26.2.17 (absolute error < 7.5e-8), which is more
+    /// than enough for ranking.
+    pub fn approx_p_value(&self) -> f64 {
+        (2.0 * normal_sf(self.statistic)).min(1.0)
+    }
+}
+
+/// Survival function of the standard normal on `|x|`,
+/// Abramowitz–Stegun 26.2.17.
+fn normal_sf(x: f64) -> f64 {
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.2316419 * x);
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    (1.0 / (2.0 * std::f64::consts::PI).sqrt()) * (-x * x / 2.0).exp() * poly
+}
+
 /// Runs Welch's t-test with an absolute-t decision threshold.
 ///
 /// The TVLA methodology rejects when `|t| > 4.5`; pass that as `threshold`
@@ -131,6 +156,71 @@ mod tests {
         assert!((out.statistic + 1.0).abs() < 1e-12);
         assert!((out.degrees_of_freedom - 8.0).abs() < 1e-9);
         assert!(!out.rejected);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples_never_reject() {
+        let empty = WeightedSamples::new();
+        let single = WeightedSamples::from_values([42.0]);
+        let many = WeightedSamples::from_values((0..20).map(f64::from));
+        for (x, y) in [
+            (&empty, &empty),
+            (&empty, &many),
+            (&single, &many),
+            (&single, &single),
+        ] {
+            let out = welch_t_test(x, y, TVLA);
+            assert!(!out.rejected, "{out:?}");
+            assert_eq!(out.statistic, 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_distributions_stay_below_threshold() {
+        // Same multiset on both sides, regardless of how it was built:
+        // t is exactly 0.
+        let a = WeightedSamples::from_pairs([(1.0, 4), (5.0, 2), (9.0, 3)]);
+        let b = WeightedSamples::from_pairs([(9.0, 3), (5.0, 2), (1.0, 4)]);
+        let out = welch_t_test(&a, &b, TVLA);
+        assert_eq!(out.statistic, 0.0);
+        assert!(!out.rejected);
+    }
+
+    #[test]
+    fn merge_then_compare_equals_compare_of_merged() {
+        // The t-test is a pure function of the weighted multisets: a side
+        // assembled by incremental merges gives a bit-identical outcome to
+        // the same side built in one shot.
+        let mut merged = WeightedSamples::from_pairs([(0.0, 5), (2.0, 1)]);
+        merged.merge(&WeightedSamples::from_pairs([(2.0, 3), (4.0, 2)]));
+        let oneshot = WeightedSamples::from_pairs([(0.0, 5), (2.0, 4), (4.0, 2)]);
+        assert_eq!(merged, oneshot);
+        let other = WeightedSamples::from_values((0..30).map(|v| f64::from(v) * 3.0));
+        let a = welch_t_test(&merged, &other, TVLA);
+        let b = welch_t_test(&oneshot, &other, TVLA);
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        assert_eq!(
+            a.degrees_of_freedom.to_bits(),
+            b.degrees_of_freedom.to_bits()
+        );
+        assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn approx_p_value_ranks_evidence() {
+        let x = WeightedSamples::from_values((0..100).map(f64::from));
+        let same = welch_t_test(&x, &x, TVLA);
+        assert!(same.approx_p_value() > 0.999, "{}", same.approx_p_value());
+        let y = WeightedSamples::from_values((0..100).map(|v| f64::from(v) + 60.0));
+        let shifted = welch_t_test(&x, &y, TVLA);
+        assert!(shifted.approx_p_value() < 1e-6);
+        let exact = WelchOutcome {
+            statistic: f64::INFINITY,
+            degrees_of_freedom: 1.0,
+            rejected: true,
+            threshold: TVLA,
+        };
+        assert_eq!(exact.approx_p_value(), 0.0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `owl-detect` — run the Owl detector against any bundled workload.
 //!
 //! ```text
-//! owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED]
+//! owl-detect <workload> [--runs N] [--alpha F] [--engine ks|tvla|mi]
+//!            [--compare-engines] [--aslr SEED]
 //!            [--parallelism N] [--retries N] [--min-runs N]
 //!            [--inject transient|quarantine|panic]
 //!            [--format text|json] [--metrics-out PATH]
@@ -22,6 +23,13 @@
 //! therefore never on stdout; `--metrics-out PATH` writes them to a
 //! separate JSON file.
 //!
+//! `--engine` selects the analysis engine: `ks` (the paper's two-sample
+//! KS test, the default), `tvla` (Welch's t-test, |t| > 4.5; `--welch` is
+//! the deprecated alias), or `mi` (mutual-information quantification in
+//! bits per observation). `--compare-engines` runs all three over the same
+//! evidence and adds the per-location agreement table to the output; the
+//! verdict and exit code still come from the `--engine` selection.
+//!
 //! Exit codes encode the verdict: 0 = leak-free / no input dependence,
 //! 2 = leaks found, 3 = inconclusive (too many runs quarantined to certify
 //! a clean result — consult the fault log), 1 = usage or runtime error.
@@ -32,8 +40,8 @@
 //! `panic` quarantines a single run without changing the verdict.
 
 use owl::core::{
-    detect, Detection, DetectionSummary, ExecFaultKind, FaultPlan, FaultRule, FaultyProgram,
-    InjectedFault, MetricsReport, OwlConfig, RetryPolicy, TestMethod, TracedProgram, Verdict,
+    detect, Detection, DetectionSummary, Engine, ExecFaultKind, FaultPlan, FaultRule,
+    FaultyProgram, InjectedFault, MetricsReport, OwlConfig, RetryPolicy, TracedProgram, Verdict,
     STREAM_RND,
 };
 use owl::workloads::aes::{AesScan, AesTTable};
@@ -60,7 +68,8 @@ struct Options {
     workload: String,
     runs: usize,
     alpha: f64,
-    method: TestMethod,
+    engine: Engine,
+    compare_engines: bool,
     aslr_seed: Option<u64>,
     parallelism: Option<usize>,
     retries: Option<u32>,
@@ -77,7 +86,8 @@ impl Options {
         OwlConfig {
             runs: self.runs,
             alpha: self.alpha,
-            method: self.method,
+            method: self.engine,
+            compare_engines: self.compare_engines,
             aslr_seed: self.aslr_seed,
             parallelism: self.parallelism.unwrap_or(defaults.parallelism),
             retry: self
@@ -129,7 +139,8 @@ fn parse_args() -> Result<Options, String> {
         workload,
         runs: 60,
         alpha: 0.95,
-        method: TestMethod::Ks,
+        engine: Engine::Ks,
+        compare_engines: false,
         aslr_seed: None,
         parallelism: None,
         retries: None,
@@ -152,7 +163,14 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--alpha needs a number in (0,1)")?;
             }
-            "--welch" => opts.method = TestMethod::Welch,
+            "--engine" => {
+                let name = args.next().ok_or("--engine needs ks|tvla|mi")?;
+                opts.engine = Engine::from_name(&name)
+                    .ok_or_else(|| format!("unknown engine {name} (expected ks|tvla|mi)"))?;
+            }
+            "--compare-engines" => opts.compare_engines = true,
+            // Deprecated alias for --engine tvla.
+            "--welch" => opts.engine = Engine::Tvla,
             "--aslr" => {
                 opts.aslr_seed = Some(
                     args.next()
@@ -284,6 +302,40 @@ fn report<I>(name: &str, detection: &Detection<I>, opts: &Options) -> Result<Exi
                 }
             }
             print!("{}", detection.report);
+            if let Some(cmp) = &detection.engine_comparison {
+                println!(
+                    "engine comparison ({}): {} location(s), {} agreed, {} split",
+                    cmp.engines.join("/"),
+                    cmp.rows.len(),
+                    cmp.agreements,
+                    cmp.disagreements
+                );
+                for (engine, leaks) in cmp.engines.iter().zip(&cmp.leaks_per_engine) {
+                    println!("  {engine}: {leaks} leak(s)");
+                }
+                for row in &cmp.rows {
+                    let verdicts: Vec<String> = row
+                        .verdicts
+                        .iter()
+                        .map(|v| {
+                            let mark = if v.flagged { "leak" } else { "clean" };
+                            match v.bits {
+                                Some(bits) if v.flagged => {
+                                    format!("{}={mark} ({bits:.3} bits)", v.engine)
+                                }
+                                _ => format!("{}={mark}", v.engine),
+                            }
+                        })
+                        .collect();
+                    println!(
+                        "  [{}] {:?} {}: {}",
+                        if row.agreed { "agree" } else { "split" },
+                        row.kind,
+                        row.location,
+                        verdicts.join(", ")
+                    );
+                }
+            }
         }
     }
     if let Some(path) = &opts.metrics_out {
@@ -420,8 +472,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: owl-detect <workload> [--runs N] [--alpha F] [--welch] [--aslr SEED] \
-                 [--parallelism N] [--retries N] [--min-runs N] \
+                "usage: owl-detect <workload> [--runs N] [--alpha F] [--engine ks|tvla|mi] \
+                 [--compare-engines] [--aslr SEED] [--parallelism N] [--retries N] [--min-runs N] \
                  [--inject transient|quarantine|panic] [--format text|json] [--metrics-out PATH]"
             );
             return ExitCode::from(1);

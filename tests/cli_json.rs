@@ -177,6 +177,139 @@ fn json_stdout_is_byte_identical_across_parallelism() {
 }
 
 #[test]
+fn default_engine_is_ks_and_comparison_is_off() {
+    let out = owl_detect(&["dummy", "--runs", "8", "--format", "json"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    let config = get(&value, "config");
+    assert_eq!(get(config, "engine").as_str(), Some("ks"));
+    assert_eq!(
+        *get(config, "compare_engines"),
+        serde_json::Value::Bool(false)
+    );
+    assert_eq!(
+        *get(&value, "engine_comparison"),
+        serde_json::Value::Null,
+        "no agreement table outside comparison mode"
+    );
+}
+
+#[test]
+fn engine_flag_selects_the_engine_and_keeps_exit_codes() {
+    for (engine, echoed) in [("tvla", "tvla"), ("mi", "mi"), ("ks", "ks")] {
+        let out = owl_detect(&[
+            "dummy", "--runs", "8", "--engine", engine, "--format", "json",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "dummy is leaky under the {engine} engine too"
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+        let value: serde_json::Value =
+            serde_json::from_str(&stdout).expect("stdout parses as JSON");
+        assert_eq!(get(&value, "verdict").as_str(), Some("leaky"));
+        assert_eq!(get(get(&value, "config"), "engine").as_str(), Some(echoed));
+    }
+}
+
+#[test]
+fn welch_flag_is_a_deprecated_alias_for_the_tvla_engine() {
+    let out = owl_detect(&["dummy", "--runs", "8", "--welch", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(get(get(&value, "config"), "engine").as_str(), Some("tvla"));
+}
+
+#[test]
+fn unknown_engine_exits_one() {
+    let out = owl_detect(&["dummy", "--runs", "8", "--engine", "anova"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(stderr.contains("unknown engine"), "stderr: {stderr}");
+}
+
+#[test]
+fn compare_engines_nests_per_engine_verdicts_under_each_leak() {
+    let out = owl_detect(&[
+        "dummy",
+        "--runs",
+        "20",
+        "--compare-engines",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "the primary (ks) verdict still drives the exit code"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(
+        *get(get(&value, "config"), "compare_engines"),
+        serde_json::Value::Bool(true)
+    );
+    let cmp = get(&value, "engine_comparison");
+    let engines = get(cmp, "engines").as_seq().expect("engines array");
+    let engine_names: Vec<_> = engines.iter().filter_map(|e| e.as_str()).collect();
+    assert_eq!(engine_names, ["ks", "tvla", "mi"]);
+    let rows = get(cmp, "rows").as_seq().expect("rows array");
+    assert!(
+        !rows.is_empty(),
+        "dummy must produce at least one table row"
+    );
+    for row in rows {
+        let verdicts = get(row, "verdicts").as_seq().expect("verdicts array");
+        assert_eq!(verdicts.len(), 3, "one verdict per engine");
+        for (verdict, expected) in verdicts.iter().zip(&engine_names) {
+            assert_eq!(get(verdict, "engine").as_str(), Some(*expected));
+            assert!(
+                matches!(get(verdict, "flagged"), serde_json::Value::Bool(_)),
+                "flagged is a boolean"
+            );
+        }
+        // The MI verdict quantifies whenever it flags.
+        let mi = &verdicts[2];
+        if *get(mi, "flagged") == serde_json::Value::Bool(true) {
+            assert!(
+                matches!(get(mi, "bits"), serde_json::Value::Float(b) if *b > 0.0),
+                "a flagging MI verdict carries a positive bits estimate"
+            );
+        }
+    }
+    let agreements = get(cmp, "agreements");
+    let disagreements = get(cmp, "disagreements");
+    let (a, d) = match (agreements, disagreements) {
+        (serde_json::Value::Int(a), serde_json::Value::Int(d)) => (*a, *d),
+        other => panic!("agreement counts must be integers, got {other:?}"),
+    };
+    assert_eq!(a + d, rows.len() as i128, "every row is agreed or split");
+}
+
+#[test]
+fn compare_engines_stdout_is_byte_identical_across_parallelism() {
+    let base = [
+        "dummy",
+        "--runs",
+        "12",
+        "--compare-engines",
+        "--format",
+        "json",
+        "--parallelism",
+    ];
+    let serial = owl_detect(&[&base[..], &["1"]].concat());
+    let parallel = owl_detect(&[&base[..], &["4"]].concat());
+    assert_eq!(serial.status.code(), parallel.status.code());
+    assert_eq!(
+        String::from_utf8(serial.stdout).expect("utf8"),
+        String::from_utf8(parallel.stdout).expect("utf8"),
+        "the agreement table must not depend on the worker count"
+    );
+}
+
+#[test]
 fn metrics_out_writes_wall_clock_report() {
     let dir = std::env::temp_dir().join("owl-cli-json-test");
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -11,8 +11,8 @@
 //! perturbations.
 
 use owl::core::{
-    detect, record_run_with_interpreter, FaultPlan, FaultyProgram, InjectedFault, OwlConfig,
-    RetryPolicy, RunSpec, TracedProgram, Verdict, STREAM_RND,
+    detect, record_run_with_interpreter, Engine, FaultPlan, FaultyProgram, InjectedFault, LeakKind,
+    OwlConfig, RetryPolicy, RunSpec, TracedProgram, Verdict, STREAM_RND,
 };
 use owl::gpu::build::KernelBuilder;
 use owl::gpu::exec::Interpreter;
@@ -234,6 +234,184 @@ fn verdict_invariant_under_retry_perturbation() {
         "transient fault must recover"
     );
     assert_eq!(perturbed.fault_counters.evidence.retried, 2);
+}
+
+/// Engine conformance on ground truth: the binary engines (KS and TVLA)
+/// agree on the by-construction leaky probe, and the clean probe is never
+/// flagged by any engine.
+#[test]
+fn binary_engines_agree_on_by_construction_probes() {
+    for engine in [Engine::Ks, Engine::Tvla] {
+        let cfg = OwlConfig::builder()
+            .runs(RUNS)
+            .parallelism(2)
+            .engine(engine)
+            .build();
+        let leaky = detect(&FuzzHarness::new(SEED_BASE, true), &INPUTS, &cfg).expect("detect");
+        assert_eq!(
+            leaky.verdict,
+            Verdict::Leaky,
+            "{} must flag the secret-indexed probe",
+            engine.name()
+        );
+        assert!(
+            leaky.report.count(LeakKind::DataFlow) >= 1,
+            "{}: {}",
+            engine.name(),
+            leaky.report
+        );
+        let clean = detect(&FuzzHarness::new(SEED_BASE, false), &INPUTS, &cfg).expect("detect");
+        assert_eq!(
+            clean.verdict,
+            Verdict::LeakFree,
+            "{} must not flag the thread-indexed probe",
+            engine.name()
+        );
+    }
+}
+
+/// The MI engine quantifies: clearly positive bits on the leaky probe's
+/// data-flow leak, and no flagged feature at all on the clean probe even
+/// when the analysis is forced past the single-class shortcut.
+#[test]
+fn mi_engine_reports_bits_on_leaky_and_none_on_clean() {
+    let leaky_cfg = OwlConfig::builder()
+        .runs(RUNS)
+        .parallelism(2)
+        .engine(Engine::Mi)
+        .build();
+    let leaky = detect(&FuzzHarness::new(SEED_BASE, true), &INPUTS, &leaky_cfg).expect("detect");
+    assert_eq!(leaky.verdict, Verdict::Leaky, "{}", leaky.report);
+    let max_bits = leaky
+        .report
+        .leaks
+        .iter()
+        .map(|l| l.severity_bits)
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_bits > 0.5,
+        "the secret-indexed lookup must leak clearly positive bits, got {max_bits}"
+    );
+    // The clean probe's traces are input-independent, so forcing the
+    // analysis compares identical distributions: ~0 bits, nothing flagged.
+    let clean_cfg = OwlConfig::builder()
+        .runs(RUNS)
+        .parallelism(2)
+        .engine(Engine::Mi)
+        .force_analysis(true)
+        .build();
+    let clean = detect(&FuzzHarness::new(SEED_BASE, false), &INPUTS, &clean_cfg).expect("detect");
+    assert!(
+        clean.report.is_clean(),
+        "clean probe must have no MI leaks: {}",
+        clean.report
+    );
+    assert_eq!(clean.verdict, Verdict::NoInputDependence);
+}
+
+/// The PR-1 determinism contract extends to every engine: verdict, report,
+/// and counters are bit-identical for parallelism 1/2/4/8.
+#[test]
+fn every_engine_is_deterministic_across_parallelism() {
+    for engine in Engine::ALL {
+        let program = FuzzHarness::new(SEED_BASE, true);
+        let baseline = detect(
+            &program,
+            &INPUTS,
+            &OwlConfig::builder()
+                .runs(RUNS)
+                .parallelism(1)
+                .engine(engine)
+                .build(),
+        )
+        .expect("detect");
+        for parallelism in [2usize, 4, 8] {
+            let cfg = OwlConfig::builder()
+                .runs(RUNS)
+                .parallelism(parallelism)
+                .engine(engine)
+                .build();
+            let detection = detect(&program, &INPUTS, &cfg).expect("detect");
+            assert_eq!(
+                detection.verdict,
+                baseline.verdict,
+                "{} parallelism {parallelism}",
+                engine.name()
+            );
+            assert_eq!(
+                detection.report,
+                baseline.report,
+                "{} parallelism {parallelism}",
+                engine.name()
+            );
+            assert_eq!(
+                detection.counters,
+                baseline.counters,
+                "{} parallelism {parallelism}",
+                engine.name()
+            );
+        }
+    }
+}
+
+/// Comparison mode on ground truth: all three engines flag the leaky
+/// probe's data-flow location (an agreement row), the clean probe yields
+/// an empty table, and the table itself is deterministic across worker
+/// counts.
+#[test]
+fn comparison_mode_agrees_on_ground_truth_probes() {
+    let cfg = OwlConfig::builder()
+        .runs(RUNS)
+        .parallelism(2)
+        .engines_all()
+        .build();
+    let leaky = detect(&FuzzHarness::new(SEED_BASE, true), &INPUTS, &cfg).expect("detect");
+    assert_eq!(leaky.verdict, Verdict::Leaky);
+    let table = leaky.engine_comparison.as_ref().expect("table present");
+    assert_eq!(table.engines, ["ks", "tvla", "mi"]);
+    assert_eq!(table.leaks_per_engine.len(), 3);
+    assert!(
+        table.leaks_per_engine.iter().all(|&n| n >= 1),
+        "every engine must flag the by-construction leak: {:?}",
+        table.leaks_per_engine
+    );
+    assert!(
+        table.rows.iter().any(|row| row.agreed),
+        "the probe's leak location must be an agreement row"
+    );
+    for row in &table.rows {
+        assert_eq!(row.verdicts.len(), 3);
+        assert_eq!(
+            row.agreed,
+            row.verdicts.iter().all(|v| v.flagged),
+            "agreed must mirror the verdicts"
+        );
+    }
+    // Deterministic like the report: bit-identical across worker counts.
+    let serial = detect(
+        &FuzzHarness::new(SEED_BASE, true),
+        &INPUTS,
+        &OwlConfig::builder()
+            .runs(RUNS)
+            .parallelism(1)
+            .engines_all()
+            .build(),
+    )
+    .expect("detect");
+    assert_eq!(serial.engine_comparison.as_ref(), Some(table));
+    // The clean probe, forced past the single-class shortcut, produces an
+    // empty table: no engine flags anything.
+    let clean_cfg = OwlConfig::builder()
+        .runs(RUNS)
+        .parallelism(2)
+        .engines_all()
+        .force_analysis(true)
+        .build();
+    let clean = detect(&FuzzHarness::new(SEED_BASE, false), &INPUTS, &clean_cfg).expect("detect");
+    let clean_table = clean.engine_comparison.as_ref().expect("table present");
+    assert!(clean_table.rows.is_empty(), "{:?}", clean_table.rows);
+    assert_eq!(clean_table.agreements, 0);
+    assert_eq!(clean_table.leaks_per_engine, [0, 0, 0]);
 }
 
 /// End-to-end interpreter seam: recording the metamorphic harness under
