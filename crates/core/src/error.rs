@@ -1,5 +1,6 @@
 //! Detector errors, with the run context that locates a failure.
 
+use crate::govern::ResourceKind;
 use owl_host::HostError;
 
 /// The detector phase a run belongs to.
@@ -91,6 +92,22 @@ pub enum DetectError {
         /// anything else a fixed placeholder).
         message: String,
     },
+    /// A configured resource budget was exceeded. Deterministic budgets
+    /// (instructions, memory events, allocations, evidence bytes) fire
+    /// identically at every parallelism level.
+    BudgetExhausted {
+        /// Which resource ran out.
+        resource: ResourceKind,
+        /// How much was consumed when the budget tripped.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The run was cancelled before or during execution — by the caller's
+    /// [`CancelToken`](crate::govern::CancelToken) or an expired wall-clock
+    /// deadline. Cancellation always drops *whole* runs, so surviving
+    /// evidence stays deterministic.
+    Cancelled,
     /// An error bundled with the run it struck — says *which* run failed,
     /// not just what the program printed.
     Run {
@@ -148,6 +165,7 @@ impl DetectError {
                 ExecError::BarrierDivergence { .. } => "exec_barrier_divergence",
                 ExecError::BarrierDeadlock => "exec_barrier_deadlock",
                 ExecError::FuelExhausted => "exec_fuel_exhausted",
+                ExecError::Cancelled => "exec_cancelled",
                 ExecError::EmptyLaunch => "exec_empty_launch",
                 ExecError::InvalidWarpSize { .. } => "exec_invalid_warp_size",
                 ExecError::UnboundTexture { .. } => "exec_unbound_texture",
@@ -155,6 +173,8 @@ impl DetectError {
             DetectError::TraceMismatch { .. } => "trace_mismatch",
             DetectError::NoInputs => "no_inputs",
             DetectError::WorkerPanic { .. } => "worker_panic",
+            DetectError::BudgetExhausted { .. } => "budget_exhausted",
+            DetectError::Cancelled => "cancelled",
             DetectError::Run { source, .. } => source.kind(),
         }
     }
@@ -170,6 +190,17 @@ impl std::fmt::Display for DetectError {
             ),
             DetectError::NoInputs => write!(f, "detection requires at least one user input"),
             DetectError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
+            DetectError::BudgetExhausted {
+                resource,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource budget exhausted: {used} {resource} used, limit {limit}"
+            ),
+            DetectError::Cancelled => {
+                write!(f, "run cancelled (caller cancellation or deadline)")
+            }
             DetectError::Run { context, source } => write!(f, "run failed [{context}]: {source}"),
         }
     }
@@ -260,5 +291,30 @@ mod tests {
             "worker_panic"
         );
         assert_eq!(DetectError::NoInputs.kind(), "no_inputs");
+        assert_eq!(launch(ExecError::Cancelled).kind(), "exec_cancelled");
+        assert_eq!(DetectError::Cancelled.kind(), "cancelled");
+        assert_eq!(
+            DetectError::BudgetExhausted {
+                resource: ResourceKind::MemEvents,
+                used: 11,
+                limit: 10,
+            }
+            .kind(),
+            "budget_exhausted"
+        );
+    }
+
+    #[test]
+    fn governance_errors_render_the_resource() {
+        let e = DetectError::BudgetExhausted {
+            resource: ResourceKind::EvidenceBytes,
+            used: 2048,
+            limit: 1024,
+        };
+        let text = e.to_string();
+        assert!(text.contains("evidence_bytes"), "{text}");
+        assert!(text.contains("2048"), "{text}");
+        assert!(text.contains("limit 1024"), "{text}");
+        assert!(DetectError::Cancelled.to_string().contains("cancelled"));
     }
 }

@@ -20,8 +20,9 @@
 //!   appear in run order, never in completion order.
 
 use crate::error::{DetectError, RunContext};
+use crate::govern::RunGovernor;
 use crate::program::TracedProgram;
-use crate::record::{record_run_metered, RunSpec};
+use crate::record::{record_run_governed, RunSpec};
 use crate::trace::ProgramTrace;
 use owl_metrics::{PhaseFaultCounters, SimCounters};
 use serde::ser::Serialize;
@@ -46,11 +47,18 @@ pub type FaultClassifier = fn(&DetectError) -> FaultClass;
 
 /// The default classifier: every program-level failure is worth retrying
 /// (each attempt runs on a fresh device, and under ASLR with a fresh
-/// layout); only [`DetectError::NoInputs`] — a caller error, not a run
-/// failure — is permanent.
+/// layout); permanent failures are [`DetectError::NoInputs`] (a caller
+/// error, not a run failure) and the governance failures — a cancelled or
+/// budget-exhausted run fails identically on every retry (budgets are
+/// deterministic; a fired token never un-fires), so retrying only burns
+/// wall clock. `FuelExhausted` from the simulator stays transient: with
+/// the default generous fuel it signals a runaway that the injection
+/// harness deliberately recovers from on retry.
 pub fn default_fault_classifier(error: &DetectError) -> FaultClass {
     match error.root() {
-        DetectError::NoInputs => FaultClass::Permanent,
+        DetectError::NoInputs | DetectError::Cancelled | DetectError::BudgetExhausted { .. } => {
+            FaultClass::Permanent
+        }
         _ => FaultClass::Transient,
     }
 }
@@ -120,7 +128,11 @@ pub struct RunAttempt {
 }
 
 impl RunAttempt {
-    /// Folds this run's outcome into a phase's fault counters.
+    /// Folds this run's outcome into a phase's fault counters. Quarantines
+    /// caused by resource governance are additionally tallied into the
+    /// `budget_exhausted` / `cancelled` counters (keyed on the error's
+    /// stable kind, so both detector-level and simulator-level exhaustion
+    /// count).
     pub fn count_into(&self, counters: &mut PhaseFaultCounters) {
         let failed = match self.result {
             Ok(_) => self.attempts - 1,
@@ -129,8 +141,13 @@ impl RunAttempt {
         counters.failed_attempts += u64::from(failed);
         counters.retried += u64::from(self.attempts.saturating_sub(1));
         counters.panics += u64::from(self.panics);
-        if self.result.is_err() {
+        if let Err(error) = &self.result {
             counters.quarantined += 1;
+            match error.kind() {
+                "budget_exhausted" | "exec_fuel_exhausted" => counters.budget_exhausted += 1,
+                "cancelled" | "exec_cancelled" => counters.cancelled += 1,
+                _ => {}
+            }
         }
     }
 }
@@ -159,13 +176,29 @@ pub fn record_run_with_retry<P: TracedProgram>(
     spec: &RunSpec,
     policy: &RetryPolicy,
 ) -> RunAttempt {
+    record_run_with_retry_governed(program, input, spec, policy, RunGovernor::unbounded())
+}
+
+/// [`record_run_with_retry`] under a [`RunGovernor`]: every attempt
+/// records through [`record_run_governed`], so the instruction budget caps
+/// each launch, cancellation is polled cooperatively, and per-run budgets
+/// are enforced. Governance failures are classified by the policy like any
+/// other fault (the default classifier makes them permanent — they are
+/// deterministic, so retrying cannot help).
+pub fn record_run_with_retry_governed<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    spec: &RunSpec,
+    policy: &RetryPolicy,
+    governor: RunGovernor<'_>,
+) -> RunAttempt {
     let max_attempts = policy.max_attempts.max(1);
     let mut panics = 0u32;
     let mut attempt = 0u32;
     loop {
         let attempt_spec = spec.with_attempt(attempt);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            record_run_metered(program, input, &attempt_spec)
+            record_run_governed(program, input, &attempt_spec, governor)
         }));
         let error = match outcome {
             Ok(Ok(recorded)) => {
@@ -325,6 +358,78 @@ mod tests {
             }),
             FaultClass::Transient
         );
+    }
+
+    #[test]
+    fn governance_failures_are_permanent_but_fuel_stays_transient() {
+        use crate::govern::ResourceKind;
+        assert_eq!(
+            default_fault_classifier(&DetectError::Cancelled),
+            FaultClass::Permanent
+        );
+        assert_eq!(
+            default_fault_classifier(&DetectError::BudgetExhausted {
+                resource: ResourceKind::MemEvents,
+                used: 2,
+                limit: 1,
+            }),
+            FaultClass::Permanent
+        );
+        // The injection harness relies on FuelExhausted recovering on retry.
+        assert_eq!(
+            default_fault_classifier(&DetectError::Host(owl_host::HostError::Launch(
+                owl_gpu::ExecError::FuelExhausted
+            ))),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            default_fault_classifier(&DetectError::Host(owl_host::HostError::Launch(
+                owl_gpu::ExecError::Cancelled
+            ))),
+            FaultClass::Transient
+        );
+    }
+
+    #[test]
+    fn count_into_tallies_governance_quarantines() {
+        use crate::govern::ResourceKind;
+        let mut counters = PhaseFaultCounters::default();
+        RunAttempt {
+            result: Err(DetectError::BudgetExhausted {
+                resource: ResourceKind::Allocations,
+                used: 9,
+                limit: 4,
+            }),
+            attempts: 1,
+            panics: 0,
+        }
+        .count_into(&mut counters);
+        RunAttempt {
+            result: Err(DetectError::Cancelled),
+            attempts: 1,
+            panics: 0,
+        }
+        .count_into(&mut counters);
+        // Simulator-level exhaustion/cancellation counts too.
+        RunAttempt {
+            result: Err(DetectError::Host(owl_host::HostError::Launch(
+                owl_gpu::ExecError::FuelExhausted,
+            ))),
+            attempts: 1,
+            panics: 0,
+        }
+        .count_into(&mut counters);
+        RunAttempt {
+            result: Err(DetectError::Host(owl_host::HostError::Launch(
+                owl_gpu::ExecError::Cancelled,
+            ))),
+            attempts: 1,
+            panics: 0,
+        }
+        .count_into(&mut counters);
+        assert_eq!(counters.quarantined, 4);
+        assert_eq!(counters.budget_exhausted, 2);
+        assert_eq!(counters.cancelled, 2);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! host-runtime errors, an instrumentation trace-count mismatch (the hook
 //! is silently detached so device graphs go missing), and worker panics.
 
+use crate::error::DetectError;
+use crate::govern::ResourceKind;
 use crate::program::TracedProgram;
 use crate::record::RunSpec;
 use owl_gpu::hook::WarpRef;
@@ -42,6 +44,8 @@ pub enum ExecFaultKind {
     BarrierDeadlock,
     /// [`ExecError::FuelExhausted`].
     FuelExhausted,
+    /// [`ExecError::Cancelled`].
+    Cancelled,
     /// [`ExecError::EmptyLaunch`].
     EmptyLaunch,
     /// [`ExecError::InvalidWarpSize`].
@@ -52,7 +56,7 @@ pub enum ExecFaultKind {
 
 impl ExecFaultKind {
     /// Every variant, for exhaustive fault-matrix tests.
-    pub const ALL: [ExecFaultKind; 10] = [
+    pub const ALL: [ExecFaultKind; 11] = [
         ExecFaultKind::InvalidProgram,
         ExecFaultKind::Memory,
         ExecFaultKind::DivisionByZero,
@@ -60,6 +64,7 @@ impl ExecFaultKind {
         ExecFaultKind::BarrierDivergence,
         ExecFaultKind::BarrierDeadlock,
         ExecFaultKind::FuelExhausted,
+        ExecFaultKind::Cancelled,
         ExecFaultKind::EmptyLaunch,
         ExecFaultKind::InvalidWarpSize,
         ExecFaultKind::UnboundTexture,
@@ -94,6 +99,7 @@ impl ExecFaultKind {
             ExecFaultKind::BarrierDivergence => ExecError::BarrierDivergence { warp },
             ExecFaultKind::BarrierDeadlock => ExecError::BarrierDeadlock,
             ExecFaultKind::FuelExhausted => ExecError::FuelExhausted,
+            ExecFaultKind::Cancelled => ExecError::Cancelled,
             ExecFaultKind::EmptyLaunch => ExecError::EmptyLaunch,
             ExecFaultKind::InvalidWarpSize => ExecError::InvalidWarpSize { warp_size: 0 },
             ExecFaultKind::UnboundTexture => ExecError::UnboundTexture { slot: 3 },
@@ -117,6 +123,15 @@ pub enum InjectedFault {
     TraceMismatch,
     /// A worker panic in the middle of the run.
     Panic,
+    /// A detector-level resource-budget exhaustion for the given resource,
+    /// raised *before* the run records (the governed recorder's seam) —
+    /// simulates a run the budget checker rejected without having to build
+    /// a program that actually overruns it.
+    BudgetExhausted(ResourceKind),
+    /// A detector-level deadline expiry: the run fails as
+    /// [`DetectError::Cancelled`], exactly like a run whose token fired
+    /// before it started.
+    DeadlineExpired,
 }
 
 /// One injection rule. `None` fields are wildcards; `attempts_below`
@@ -286,6 +301,12 @@ impl<P: TracedProgram> TracedProgram for FaultyProgram<P> {
                 "injected panic at stream {} run {} attempt {}",
                 spec.stream, spec.run_index, spec.attempt
             ),
+            // Detector-level faults fire in `injected_detect_fault`, before
+            // the recorder ever calls the program; reaching here means a
+            // spec-less entry point, which injection leaves untouched.
+            Some(InjectedFault::BudgetExhausted(_) | InjectedFault::DeadlineExpired) => {
+                self.inner.run_with_spec(device, input, spec)
+            }
         }
     }
 
@@ -295,6 +316,20 @@ impl<P: TracedProgram> TracedProgram for FaultyProgram<P> {
 
     fn deterministic_host(&self) -> bool {
         false
+    }
+
+    fn injected_detect_fault(&self, spec: &RunSpec) -> Option<DetectError> {
+        match self.plan.fault_for(spec) {
+            Some(InjectedFault::BudgetExhausted(resource)) => Some(DetectError::BudgetExhausted {
+                resource,
+                // Synthesized magnitudes: any `used > limit` pair names the
+                // exhaustion without simulating real consumption.
+                used: 1,
+                limit: 0,
+            }),
+            Some(InjectedFault::DeadlineExpired) => Some(DetectError::Cancelled),
+            _ => None,
+        }
     }
 }
 
@@ -399,6 +434,24 @@ mod tests {
             }
             other => panic!("expected TraceMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn detector_level_faults_fire_before_recording() {
+        let plan = FaultPlan::new()
+            .fail_run(
+                1,
+                0,
+                InjectedFault::BudgetExhausted(ResourceKind::MemEvents),
+            )
+            .fail_run(1, 1, InjectedFault::DeadlineExpired);
+        let faulty = FaultyProgram::new(Probe::new(), plan);
+        let err = record_run(&faulty, &0, &spec(1, 0, 0)).expect_err("budget fault");
+        assert_eq!(err.kind(), "budget_exhausted");
+        assert!(err.to_string().contains("mem_events"), "{err}");
+        let err = record_run(&faulty, &0, &spec(1, 1, 0)).expect_err("deadline fault");
+        assert_eq!(err.kind(), "cancelled");
+        assert!(record_run(&faulty, &0, &spec(2, 0, 0)).is_ok());
     }
 
     #[test]

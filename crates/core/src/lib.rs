@@ -83,6 +83,7 @@ pub mod error;
 pub mod evidence;
 pub mod fault;
 pub mod filter;
+pub mod govern;
 pub mod inject;
 pub mod owl;
 mod parallel;
@@ -103,14 +104,15 @@ pub use engine::{
 pub use error::{DetectError, DetectPhase, RunContext};
 pub use evidence::Evidence;
 pub use fault::{
-    default_fault_classifier, record_run_with_retry, FaultClass, FaultClassifier, FaultLog,
-    FaultRecord, RetryPolicy, RunAttempt,
+    default_fault_classifier, record_run_with_retry, record_run_with_retry_governed, FaultClass,
+    FaultClassifier, FaultLog, FaultRecord, RetryPolicy, RunAttempt,
 };
 pub use filter::{filter_traces, FilterOutcome, InputClass};
+pub use govern::{CancelToken, ResourceBudget, ResourceKind, RunGovernor};
 pub use inject::{ExecFaultKind, FaultPlan, FaultRule, FaultyProgram, InjectedFault};
 pub use owl::{
-    detect, fix_stream, Detection, OwlConfig, OwlConfigBuilder, PhaseStats, Verdict, STREAM_RND,
-    STREAM_USER,
+    detect, detect_with_cancel, fix_stream, ConfigError, Detection, OwlConfig, OwlConfigBuilder,
+    PhaseStats, Verdict, STREAM_RND, STREAM_USER,
 };
 pub use owl_metrics::{
     FaultCounters, PhaseFaultCounters, PhaseSpan, SimCounters, Spans, SCHEMA_VERSION,
@@ -118,10 +120,10 @@ pub use owl_metrics::{
 pub use owl_stats::EngineOutcome;
 pub use program::TracedProgram;
 pub use record::{
-    record_run, record_run_metered, record_run_with_interpreter, record_trace, record_trace_on,
-    RunSpec,
+    record_run, record_run_governed, record_run_metered, record_run_with_interpreter, record_trace,
+    record_trace_on, RunSpec,
 };
 pub use report::{Leak, LeakKind, LeakLocation, LeakReport};
-pub use summary::{verdict_name, DetectionSummary, MetricsReport, PhaseStatsMs};
+pub use summary::{verdict_name, BudgetUtilization, DetectionSummary, MetricsReport, PhaseStatsMs};
 pub use trace::{InvocationKey, KernelInvocation, MallocRecord, ProgramTrace};
 pub use tracer::OwlTracer;

@@ -4,8 +4,11 @@ use crate::analysis::{engine_reports, leakage_test, AnalysisConfig, TestMethod};
 use crate::engine::{Engine, EngineComparison};
 use crate::error::{DetectError, DetectPhase, RunContext};
 use crate::evidence::Evidence;
-use crate::fault::{record_run_with_retry, FaultLog, FaultRecord, RetryPolicy, RunAttempt};
+use crate::fault::{
+    record_run_with_retry_governed, FaultLog, FaultRecord, RetryPolicy, RunAttempt,
+};
 use crate::filter::{filter_traces, FilterOutcome};
+use crate::govern::{CancelToken, ResourceBudget, ResourceKind, RunGovernor};
 use crate::parallel::parallel_map;
 use crate::program::TracedProgram;
 use crate::record::RunSpec;
@@ -75,6 +78,10 @@ pub struct OwlConfig {
     /// rather than silently under-powered. `None` = half the configured
     /// runs (at least 2, never more than `runs`).
     pub min_runs_per_set: Option<usize>,
+    /// Resource budgets and deadline for the whole detection. Exhaustion
+    /// surfaces as typed faults feeding the quarantine machinery, never as
+    /// an abort; see [`ResourceBudget`] for the determinism contract.
+    pub budget: ResourceBudget,
 }
 
 impl Default for OwlConfig {
@@ -93,6 +100,7 @@ impl Default for OwlConfig {
                 .unwrap_or(1),
             retry: RetryPolicy::default(),
             min_runs_per_set: None,
+            budget: ResourceBudget::DEFAULT,
         }
     }
 }
@@ -112,7 +120,142 @@ impl OwlConfig {
             .unwrap_or((self.runs / 2).max(2))
             .min(self.runs)
     }
+
+    /// Rejects configurations that cannot produce a meaningful detection —
+    /// zero runs, a quorum no run count can satisfy, a zero-attempt retry
+    /// budget, zero resource budgets, out-of-range alpha or warp size.
+    ///
+    /// `detect` does not call this: the detector's own clamping keeps every
+    /// config *safe* (it cannot crash), but a nonsensical config silently
+    /// clamped is a user error hidden. Front ends (the CLI, harnesses)
+    /// validate up front and render the typed [`ConfigError`] instead.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found, in field order.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.runs == 0 {
+            return Err(ConfigError::ZeroRuns);
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(ConfigError::AlphaOutOfRange { alpha: self.alpha });
+        }
+        if !(1..=64).contains(&self.warp_size) {
+            return Err(ConfigError::WarpSizeOutOfRange {
+                warp_size: self.warp_size,
+            });
+        }
+        if self.parallelism == 0 {
+            return Err(ConfigError::ZeroParallelism);
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(ConfigError::ZeroRetryAttempts);
+        }
+        if let Some(quorum) = self.min_runs_per_set {
+            if quorum > self.runs {
+                return Err(ConfigError::QuorumExceedsRuns {
+                    quorum,
+                    runs: self.runs,
+                });
+            }
+        }
+        if self.budget.max_instructions == 0 {
+            return Err(ConfigError::ZeroBudget {
+                resource: ResourceKind::Instructions,
+            });
+        }
+        if self.budget.max_mem_events == Some(0) {
+            return Err(ConfigError::ZeroBudget {
+                resource: ResourceKind::MemEvents,
+            });
+        }
+        if self.budget.max_allocations == Some(0) {
+            return Err(ConfigError::ZeroBudget {
+                resource: ResourceKind::Allocations,
+            });
+        }
+        if self.budget.max_evidence_bytes == Some(0) {
+            return Err(ConfigError::ZeroBudget {
+                resource: ResourceKind::EvidenceBytes,
+            });
+        }
+        if self.budget.deadline == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroBudget {
+                resource: ResourceKind::Deadline,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A configuration that cannot produce a meaningful detection, caught by
+/// [`OwlConfig::validate`] before any run is recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `runs == 0`: no evidence could be recorded.
+    ZeroRuns,
+    /// `alpha` outside the open interval `(0, 1)`.
+    AlphaOutOfRange {
+        /// The rejected confidence level.
+        alpha: f64,
+    },
+    /// `warp_size` outside the simulator's supported `1..=64`.
+    WarpSizeOutOfRange {
+        /// The rejected warp width.
+        warp_size: u32,
+    },
+    /// `parallelism == 0`: no worker could run.
+    ZeroParallelism,
+    /// `retry.max_attempts == 0`: every run would quarantine untried.
+    ZeroRetryAttempts,
+    /// `min_runs_per_set > runs`: the quorum can never be met.
+    QuorumExceedsRuns {
+        /// The configured quorum.
+        quorum: usize,
+        /// The configured run count.
+        runs: usize,
+    },
+    /// A resource budget of zero: every run (or the whole detection) would
+    /// exhaust immediately.
+    ZeroBudget {
+        /// The zero-budgeted resource.
+        resource: ResourceKind,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRuns => {
+                write!(f, "runs must be at least 1 (0 records no evidence)")
+            }
+            ConfigError::AlphaOutOfRange { alpha } => {
+                write!(f, "alpha must be strictly between 0 and 1, got {alpha}")
+            }
+            ConfigError::WarpSizeOutOfRange { warp_size } => {
+                write!(f, "warp size must be within 1..=64, got {warp_size}")
+            }
+            ConfigError::ZeroParallelism => {
+                write!(f, "parallelism must be at least 1")
+            }
+            ConfigError::ZeroRetryAttempts => write!(
+                f,
+                "retry budget must allow at least 1 attempt (0 quarantines every run untried)"
+            ),
+            ConfigError::QuorumExceedsRuns { quorum, runs } => write!(
+                f,
+                "min runs per set ({quorum}) exceeds the configured runs ({runs}); \
+                 the quorum could never be met"
+            ),
+            ConfigError::ZeroBudget { resource } => write!(
+                f,
+                "the {resource} budget must be nonzero (0 exhausts immediately)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Builder for [`OwlConfig`]; every setter has the same name and meaning as
 /// the corresponding config field.
@@ -202,9 +345,56 @@ impl OwlConfigBuilder {
         self
     }
 
+    /// Replaces the whole resource budget.
+    pub fn budget(mut self, budget: ResourceBudget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Instruction budget per kernel launch (the simulator fuel).
+    pub fn max_instructions(mut self, max: u64) -> Self {
+        self.config.budget.max_instructions = max;
+        self
+    }
+
+    /// Memory-access events one recorded run may produce.
+    pub fn max_mem_events(mut self, max: u64) -> Self {
+        self.config.budget.max_mem_events = Some(max);
+        self
+    }
+
+    /// Device allocations one recorded run may perform.
+    pub fn max_allocations(mut self, max: u64) -> Self {
+        self.config.budget.max_allocations = Some(max);
+        self
+    }
+
+    /// Total merged evidence footprint the detection may hold, in bytes.
+    pub fn max_evidence_bytes(mut self, max: usize) -> Self {
+        self.config.budget.max_evidence_bytes = Some(max);
+        self
+    }
+
+    /// Wall-clock deadline for the whole detection.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.budget.deadline = Some(deadline);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> OwlConfig {
         self.config
+    }
+
+    /// Finishes the builder, rejecting nonsensical configurations (see
+    /// [`OwlConfig::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found.
+    pub fn validate(self) -> Result<OwlConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -387,9 +577,50 @@ where
     P: TracedProgram + Sync,
     P::Input: Send + Sync,
 {
+    detect_with_cancel(program, user_inputs, config, None)
+}
+
+/// [`detect`] with a caller-provided [`CancelToken`].
+///
+/// The effective token combines the caller's with the config's deadline
+/// ([`ResourceBudget::deadline`]): either firing cancels the detection
+/// cooperatively. Cancellation never aborts — in-flight runs are abandoned
+/// at the next basic-block boundary, queued runs fail fast, and everything
+/// lost is quarantined like any other fault. The detection returns a
+/// *partial* result over the surviving evidence, quorum-evaluated: leaks
+/// found stand ([`Verdict::Leaky`]), a clean-looking result degrades to
+/// [`Verdict::Inconclusive`] when anything was lost.
+///
+/// # Errors
+///
+/// See [`detect`]. A cancelled detection still returns `Ok` — the losses
+/// live in [`Detection::faults`] and the verdict.
+pub fn detect_with_cancel<P>(
+    program: &P,
+    user_inputs: &[P::Input],
+    config: &OwlConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<Detection<P::Input>, DetectError>
+where
+    P: TracedProgram + Sync,
+    P::Input: Send + Sync,
+{
     if user_inputs.is_empty() {
         return Err(DetectError::NoInputs);
     }
+    // The effective token: the caller's, tightened by the config deadline.
+    // A deadline with no caller token gets a fresh token to hang off.
+    let token: Option<CancelToken> = match (cancel, config.budget.deadline) {
+        (Some(t), Some(d)) => Some(t.deadline_in(d)),
+        (Some(t), None) => Some(t.clone()),
+        (None, Some(d)) => Some(CancelToken::new().deadline_in(d)),
+        (None, None) => None,
+    };
+    let token = token.as_ref();
+    let governor = RunGovernor {
+        budget: &config.budget,
+        cancel: token,
+    };
     let workers = config.parallelism.max(1);
     let retry = config.retry;
     let spec = |stream, run_index| RunSpec {
@@ -411,8 +642,14 @@ where
     // Failed inputs are quarantined in input order and excluded from
     // filtering — their loss blocks any clean verdict below.
     let t0 = Instant::now();
-    let attempts = parallel_map(workers, user_inputs.len(), |i| {
-        record_run_with_retry(program, &user_inputs[i], &spec(STREAM_USER, i), &retry)
+    let attempts = parallel_map(workers, user_inputs.len(), token, |i| {
+        record_run_with_retry_governed(
+            program,
+            &user_inputs[i],
+            &spec(STREAM_USER, i),
+            &retry,
+            governor,
+        )
     });
     let mut kept_inputs = Vec::with_capacity(user_inputs.len());
     let mut traces = Vec::with_capacity(user_inputs.len());
@@ -523,7 +760,7 @@ where
         }
     }
     let evidence_workers = workers.min(items.len()).max(1);
-    let partials = parallel_map(evidence_workers, items.len(), |i| {
+    let partials = parallel_map(evidence_workers, items.len(), token, |i| {
         let item = &items[i];
         let t = Instant::now();
         let mut outcome = ChunkOutcome {
@@ -546,8 +783,13 @@ where
         if let (Some(c), None, true) = (item.class, config.aslr_seed, program.deterministic_host())
         {
             let input = &filter.classes[c].representative;
-            let attempt =
-                record_run_with_retry(program, input, &spec(item.stream, item.start), &retry);
+            let attempt = record_run_with_retry_governed(
+                program,
+                input,
+                &spec(item.stream, item.start),
+                &retry,
+                governor,
+            );
             if attempt.result.is_ok() {
                 // The probe records once for the whole chunk, so its retry
                 // accounting folds exactly once (not per replica).
@@ -577,8 +819,13 @@ where
                     }
                     Some(c) => &filter.classes[c].representative,
                 };
-                let attempt =
-                    record_run_with_retry(program, input, &spec(item.stream, run), &retry);
+                let attempt = record_run_with_retry_governed(
+                    program,
+                    input,
+                    &spec(item.stream, run),
+                    &retry,
+                    governor,
+                );
                 attempt.count_into(&mut outcome.fault_counters);
                 match attempt.result {
                     Ok((trace, run_counters)) => {
@@ -657,6 +904,30 @@ where
     let peak_evidence_bytes =
         rnd.size_bytes() + fixes.iter().map(Evidence::size_bytes).max().unwrap_or(0);
 
+    // Evidence-footprint budget: the *total* merged evidence this
+    // detection holds. Checked on the main thread after the merge, so the
+    // outcome is a pure function of `(program, inputs, config)` — the
+    // deterministic-budget contract. The evidence is kept (it was already
+    // paid for and may prove a leak); the overrun is recorded as a fault
+    // and blocks any clean verdict below.
+    let evidence_bytes = rnd.size_bytes() + fixes.iter().map(Evidence::size_bytes).sum::<usize>();
+    let mut evidence_over_budget = false;
+    if let Err(error) = config.budget.check_evidence(evidence_bytes) {
+        evidence_over_budget = true;
+        fault_counters.evidence.budget_exhausted += 1;
+        faults.push(FaultRecord {
+            context: RunContext {
+                phase: DetectPhase::Evidence,
+                class: None,
+                stream: STREAM_RND,
+                run_index: 0,
+                attempt: 0,
+            },
+            attempts: 1,
+            error,
+        });
+    }
+
     // Quorum: a distribution test is only trusted when both of its sides
     // kept enough runs. Shortfalls skip the affected tests (never fake
     // them) and force an inconclusive verdict below.
@@ -697,8 +968,30 @@ where
     let mut report = LeakReport::default();
     let mut analysis_lost = false;
     let mut engine_comparison = None;
-    if config.compare_engines {
-        let class_reports = parallel_map(workers, fixes.len(), |c| {
+    // Cancellation is snapshotted once: either the whole analysis runs or
+    // none of it does, so a deadline racing the fan-out cannot yield a
+    // report built from an unpredictable subset of classes.
+    let analysis_cancelled = token.is_some_and(CancelToken::is_cancelled);
+    if analysis_cancelled {
+        analysis_lost = true;
+        for c in 0..fixes.len() {
+            fault_counters.analysis.failed_attempts += 1;
+            fault_counters.analysis.quarantined += 1;
+            fault_counters.analysis.cancelled += 1;
+            faults.push(FaultRecord {
+                context: RunContext {
+                    phase: DetectPhase::Analysis,
+                    class: Some(c),
+                    stream: fix_stream(c),
+                    run_index: 0,
+                    attempt: 0,
+                },
+                attempts: 1,
+                error: DetectError::Cancelled,
+            });
+        }
+    } else if config.compare_engines {
+        let class_reports = parallel_map(workers, fixes.len(), token, |c| {
             if !rnd_ok || !class_ok[c] {
                 return None;
             }
@@ -729,7 +1022,7 @@ where
             .unwrap_or_default();
         engine_comparison = Some(EngineComparison::from_reports(&merged));
     } else {
-        let class_reports = parallel_map(workers, fixes.len(), |c| {
+        let class_reports = parallel_map(workers, fixes.len(), token, |c| {
             if !rnd_ok || !class_ok[c] {
                 return None;
             }
@@ -753,7 +1046,7 @@ where
     // lost; a clean-looking result is only leak-free when nothing was.
     let verdict = if !report.is_clean() {
         Verdict::Leaky
-    } else if inputs_lost || below_quorum || analysis_lost {
+    } else if inputs_lost || below_quorum || analysis_lost || evidence_over_budget {
         Verdict::Inconclusive
     } else {
         Verdict::NoInputDependence

@@ -17,6 +17,7 @@
 //! identically, so panic behaviour is part of the bit-identical
 //! determinism contract rather than an artifact of threading.
 
+use crate::govern::CancelToken;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -35,7 +36,20 @@ pub(crate) struct CaughtPanic {
 /// With `workers <= 1` or `n <= 1` everything runs inline on the calling
 /// thread — the exact serial behaviour (including panic isolation), with
 /// no threads spawned.
-pub(crate) fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<Result<T, CaughtPanic>>
+///
+/// `cancel` makes the fan-out responsive to the detection's deadline:
+/// once the token fires, workers stop claiming *new* indices and drain.
+/// Every index still receives a value — after the threads join, unclaimed
+/// slots are filled inline by calling `f(i)` on the caller's thread, which
+/// is cheap because a cancel-aware `f` fast-fails on a fired token. The
+/// fan-out therefore never changes *what* is computed for any index (the
+/// determinism contract), only how promptly in-flight work is abandoned.
+pub(crate) fn parallel_map<T, F>(
+    workers: usize,
+    n: usize,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Vec<Result<T, CaughtPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -55,6 +69,9 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -66,10 +83,12 @@ where
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every index produces a value")
+        .enumerate()
+        .map(|(i, slot)| match slot.into_inner().expect("result slot") {
+            Some(value) => value,
+            // Skipped by a cancelled worker: produce the item's value
+            // inline (fast — `f` sees the fired token and fails typed).
+            None => run_item(i),
         })
         .collect()
 }
@@ -85,26 +104,26 @@ mod tests {
     #[test]
     fn results_come_back_in_index_order() {
         for workers in [1, 2, 4, 16] {
-            let out = unwrap_all(parallel_map(workers, 37, |i| i * i));
+            let out = unwrap_all(parallel_map(workers, 37, None, |i| i * i));
             assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn zero_items_is_empty() {
-        let out: Vec<Result<u32, _>> = parallel_map(4, 0, |_| unreachable!("no items"));
+        let out: Vec<Result<u32, _>> = parallel_map(4, 0, None, |_| unreachable!("no items"));
         assert!(out.is_empty());
     }
 
     #[test]
     fn more_workers_than_items_is_fine() {
-        let out = unwrap_all(parallel_map(64, 3, |i| i + 1));
+        let out = unwrap_all(parallel_map(64, 3, None, |i| i + 1));
         assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]
     fn work_actually_spreads_across_threads() {
-        let ids = unwrap_all(parallel_map(4, 64, |_| {
+        let ids = unwrap_all(parallel_map(4, 64, None, |_| {
             std::thread::sleep(std::time::Duration::from_millis(1));
             format!("{:?}", std::thread::current().id())
         }));
@@ -115,7 +134,7 @@ mod tests {
     #[test]
     fn panics_are_isolated_per_item_for_every_worker_count() {
         for workers in [1, 2, 4, 8] {
-            let out = parallel_map(workers, 9, |i| {
+            let out = parallel_map(workers, 9, None, |i| {
                 if i % 3 == 1 {
                     panic!("boom at {i}");
                 }
@@ -134,8 +153,36 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_fanout_still_fills_every_slot() {
+        let token = CancelToken::new();
+        token.cancel();
+        // Workers refuse to claim, so every slot is filled inline by the
+        // caller — `f` still runs once per index.
+        let out = unwrap_all(parallel_map(4, 16, Some(&token), |i| i * 3));
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mid_flight_cancellation_completes_all_indices() {
+        let token = CancelToken::new();
+        let fired = std::sync::atomic::AtomicBool::new(false);
+        let out = unwrap_all(parallel_map(2, 32, Some(&token), |i| {
+            if i == 3 {
+                token.cancel();
+                fired.store(true, Ordering::Relaxed);
+            }
+            if fired.load(Ordering::Relaxed) {
+                // A cancel-aware work function fast-fails.
+                return usize::MAX;
+            }
+            i
+        }));
+        assert_eq!(out.len(), 32, "every index produced a value");
+    }
+
+    #[test]
     fn non_string_payloads_render_as_placeholder() {
-        let out = parallel_map(1, 1, |_| std::panic::panic_any(42u32));
+        let out = parallel_map(1, 1, None, |_| std::panic::panic_any(42u32));
         let panic = out.into_iter().next().unwrap().expect_err("panicked");
         assert_eq!(panic.message, "opaque panic payload");
     }

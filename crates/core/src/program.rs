@@ -57,6 +57,18 @@ pub trait TracedProgram {
     /// Must be deterministic in `seed` so detection runs are reproducible.
     fn random_input(&self, seed: u64) -> Self::Input;
 
+    /// A detector-level fault to raise *instead of* recording this run.
+    ///
+    /// The default (`None`) never fires. Overridden only by the
+    /// fault-injection wrapper to simulate governance failures — budget
+    /// exhaustion or deadline expiry at a chosen `(stream, run_index)` —
+    /// that cannot be expressed as an execution error inside the simulator.
+    /// Real applications must not override this.
+    fn injected_detect_fault(&self, spec: &RunSpec) -> Option<crate::error::DetectError> {
+        let _ = spec;
+        None
+    }
+
     /// Declares that `run` is a pure function of `(device, input)`: two
     /// calls with an equal input produce bit-identical traces, with no
     /// per-run host state (counters, clocks, fresh nonces, RNGs seeded
@@ -103,6 +115,10 @@ impl<P: TracedProgram + ?Sized> TracedProgram for &P {
 
     fn random_input(&self, seed: u64) -> Self::Input {
         (**self).random_input(seed)
+    }
+
+    fn injected_detect_fault(&self, spec: &RunSpec) -> Option<crate::error::DetectError> {
+        (**self).injected_detect_fault(spec)
     }
 
     fn deterministic_host(&self) -> bool {

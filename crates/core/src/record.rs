@@ -6,6 +6,7 @@
 //! paired with their A-DCFGs (device side), plus allocation records.
 
 use crate::error::DetectError;
+use crate::govern::RunGovernor;
 use crate::program::TracedProgram;
 use crate::trace::{InvocationKey, KernelInvocation, MallocRecord, ProgramTrace};
 use crate::tracer::OwlTracer;
@@ -124,7 +125,53 @@ pub fn record_run_metered<P: TracedProgram>(
     input: &P::Input,
     spec: &RunSpec,
 ) -> Result<(ProgramTrace, owl_metrics::SimCounters), DetectError> {
-    record_run_with_interpreter(program, input, spec, owl_gpu::exec::Interpreter::Lowered)
+    record_run_governed(program, input, spec, RunGovernor::unbounded())
+}
+
+/// [`record_run_metered`] under a [`RunGovernor`]: the governor's
+/// instruction budget becomes the simulator fuel for every launch in the
+/// run, its cancellation token is polled cooperatively at basic-block
+/// boundaries, and the per-run memory-event/allocation budgets are checked
+/// once the run completes.
+///
+/// Cancellation is checked *before* the run starts as well, so an expired
+/// deadline fails fast without touching the device. A cancelled run never
+/// yields a partial trace — callers get [`DetectError::Cancelled`] and the
+/// whole run is dropped, which is what keeps surviving evidence
+/// deterministic under wall-clock deadlines.
+///
+/// # Errors
+///
+/// Everything [`record_trace`] raises, plus
+/// [`DetectError::Cancelled`] and [`DetectError::BudgetExhausted`].
+pub fn record_run_governed<P: TracedProgram>(
+    program: &P,
+    input: &P::Input,
+    spec: &RunSpec,
+    governor: RunGovernor<'_>,
+) -> Result<(ProgramTrace, owl_metrics::SimCounters), DetectError> {
+    if governor.is_cancelled() {
+        return Err(DetectError::Cancelled);
+    }
+    if let Some(fault) = program.injected_detect_fault(spec) {
+        return Err(fault);
+    }
+    let mut device = match spec.layout_seed() {
+        None => Device::new(),
+        Some(seed) => Device::with_aslr(seed),
+    };
+    device.set_launch_options(owl_gpu::exec::LaunchOptions {
+        warp_size: spec.warp_size,
+        interpreter: owl_gpu::exec::Interpreter::Lowered,
+        fuel: governor.budget.max_instructions,
+        cancel: governor.cancel.cloned(),
+    });
+    let trace = record_trace_inner(program, input, &mut device, Some(spec))?;
+    let counters = device.total_stats().counters;
+    governor
+        .budget
+        .check_run(counters.mem_accesses, trace.mallocs.len() as u64)?;
+    Ok((trace, counters))
 }
 
 /// [`record_run_metered`] with an explicit simulator interpreter.

@@ -88,6 +88,20 @@ pub struct ConfigEcho {
     /// Minimum surviving runs per evidence set (`None` = the automatic
     /// half-of-runs quorum).
     pub min_runs_per_set: Option<usize>,
+    /// Instruction budget per kernel launch.
+    pub max_instructions: u64,
+    /// Memory-event budget per run (`None` = unbounded).
+    pub max_mem_events: Option<u64>,
+    /// Allocation budget per run (`None` = unbounded).
+    pub max_allocations: Option<u64>,
+    /// Evidence-footprint budget per detection, in bytes (`None` =
+    /// unbounded).
+    pub max_evidence_bytes: Option<usize>,
+    /// Wall-clock deadline, in whole milliseconds (`None` = unbounded).
+    /// The deadline *setting* is deterministic config and belongs here
+    /// (unlike measured timings, which are banned from the summary);
+    /// whether it fired is visible in the fault counters.
+    pub deadline_millis: Option<u64>,
 }
 
 impl DetectionSummary {
@@ -114,6 +128,11 @@ impl DetectionSummary {
                 aslr_seed: config.aslr_seed,
                 retry_max_attempts: config.retry.max_attempts,
                 min_runs_per_set: config.min_runs_per_set,
+                max_instructions: config.budget.max_instructions,
+                max_mem_events: config.budget.max_mem_events,
+                max_allocations: config.budget.max_allocations,
+                max_evidence_bytes: config.budget.max_evidence_bytes,
+                deadline_millis: config.budget.deadline.map(|d| d.as_millis() as u64),
             },
             counters: detection.counters,
             faults: detection.fault_counters,
@@ -151,6 +170,38 @@ pub struct MetricsReport {
     /// Simulator execution counters (duplicated here so the metrics file
     /// is self-contained).
     pub counters: SimCounters,
+    /// Resource-budget utilization: what the detection consumed against
+    /// what was configured.
+    pub budget: BudgetUtilization,
+}
+
+/// Consumption vs. configuration for every governed resource — the
+/// operational view of a [`ResourceBudget`](crate::govern::ResourceBudget).
+/// Lives in the metrics document: utilization is not part of the verdict
+/// and total consumption varies when wall-clock cancellation drops runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct BudgetUtilization {
+    /// The configured per-launch instruction budget.
+    pub max_instructions_per_launch: u64,
+    /// Instructions consumed over every recorded run.
+    pub instructions: u64,
+    /// Memory-access events over every recorded run.
+    pub mem_events: u64,
+    /// The configured per-run memory-event budget (`None` = unbounded).
+    pub max_mem_events: Option<u64>,
+    /// The configured per-run allocation budget (`None` = unbounded).
+    pub max_allocations: Option<u64>,
+    /// Peak resident evidence footprint, in bytes.
+    pub peak_evidence_bytes: usize,
+    /// The configured evidence-footprint budget (`None` = unbounded).
+    pub max_evidence_bytes: Option<usize>,
+    /// The configured wall-clock deadline, in whole milliseconds.
+    pub deadline_millis: Option<u64>,
+    /// Runs quarantined because they were cancelled (token or deadline).
+    pub cancelled_runs: u64,
+    /// Runs (plus at most one evidence-footprint overrun) quarantined or
+    /// flagged for budget exhaustion.
+    pub budget_exhausted_runs: u64,
 }
 
 /// [`PhaseStats`] with durations flattened to milliseconds (the vendored
@@ -204,6 +255,7 @@ impl MetricsReport {
         detection: &Detection<I>,
         config: &OwlConfig,
     ) -> Self {
+        let f = &detection.fault_counters;
         MetricsReport {
             schema_version: SCHEMA_VERSION,
             workload: workload.into(),
@@ -211,6 +263,22 @@ impl MetricsReport {
             spans: detection.spans.clone(),
             phase_stats: (&detection.stats).into(),
             counters: detection.counters,
+            budget: BudgetUtilization {
+                max_instructions_per_launch: config.budget.max_instructions,
+                instructions: detection.counters.instructions,
+                mem_events: detection.counters.mem_accesses,
+                max_mem_events: config.budget.max_mem_events,
+                max_allocations: config.budget.max_allocations,
+                peak_evidence_bytes: detection.stats.peak_evidence_bytes,
+                max_evidence_bytes: config.budget.max_evidence_bytes,
+                deadline_millis: config.budget.deadline.map(|d| d.as_millis() as u64),
+                cancelled_runs: f.trace_collection.cancelled
+                    + f.evidence.cancelled
+                    + f.analysis.cancelled,
+                budget_exhausted_runs: f.trace_collection.budget_exhausted
+                    + f.evidence.budget_exhausted
+                    + f.analysis.budget_exhausted,
+            },
         }
     }
 }
@@ -309,6 +377,17 @@ mod tests {
             serde_json::Value::Int(3)
         );
         assert!(has_key(config_echo, "min_runs_per_set"));
+        // The governance echo: budgets are config, so they belong in the
+        // deterministic summary.
+        assert_eq!(
+            *get(config_echo, "max_instructions"),
+            serde_json::Value::Int(i128::from(owl_gpu::exec::DEFAULT_FUEL))
+        );
+        assert_eq!(*get(config_echo, "max_mem_events"), serde_json::Value::Null);
+        assert_eq!(
+            *get(config_echo, "deadline_millis"),
+            serde_json::Value::Null
+        );
         let faults = get(&value, "faults");
         assert_eq!(
             *get(get(faults, "evidence"), "quarantined"),
@@ -333,6 +412,42 @@ mod tests {
         );
         let spans = get(&value, "spans").as_seq().expect("spans is an array");
         assert_eq!(get(&spans[0], "name").as_str(), Some("trace_collection"));
+    }
+
+    #[test]
+    fn metrics_report_carries_budget_utilization() {
+        let d = fake_detection();
+        let config = OwlConfig::builder()
+            .max_instructions(50_000)
+            .max_evidence_bytes(1 << 20)
+            .deadline(Duration::from_millis(2500))
+            .build();
+        let metrics = MetricsReport::new("toy", &d, &config);
+        let json = serde_json::to_string(&metrics).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let budget = get(&value, "budget");
+        assert_eq!(
+            *get(budget, "max_instructions_per_launch"),
+            serde_json::Value::Int(50_000)
+        );
+        assert_eq!(*get(budget, "instructions"), serde_json::Value::Int(1234));
+        assert_eq!(
+            *get(budget, "max_evidence_bytes"),
+            serde_json::Value::Int(1 << 20)
+        );
+        assert_eq!(
+            *get(budget, "peak_evidence_bytes"),
+            serde_json::Value::Int(2048)
+        );
+        assert_eq!(
+            *get(budget, "deadline_millis"),
+            serde_json::Value::Int(2500)
+        );
+        assert_eq!(*get(budget, "cancelled_runs"), serde_json::Value::Int(0));
+        assert_eq!(
+            *get(budget, "budget_exhausted_runs"),
+            serde_json::Value::Int(0)
+        );
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Cooperative cancellation for launches.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a caller
+//! and any number of in-flight launches. The caller flips it with
+//! [`CancelToken::cancel`] (or arms a wall-clock deadline); both
+//! interpreters poll it at basic-block boundaries and abandon the launch
+//! with [`ExecError::Cancelled`](crate::error::ExecError::Cancelled) when
+//! it fires. Cancellation is *cooperative* and *whole-launch*: a launch
+//! either completes untouched or errors out entirely, so partial results
+//! never leak into downstream consumers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation handle: an atomic flag plus an optional
+/// wall-clock deadline.
+///
+/// Clones share the flag — cancelling any clone cancels them all — while
+/// each clone carries its own (possibly tightened) deadline. Two tokens
+/// compare equal when they share the flag *and* the deadline, so a cloned
+/// token still equals its original.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// Requests cancellation on this token and every clone sharing its
+    /// flag. Idempotent.
+    pub fn cancel(&self) {
+        // Relaxed suffices: the flag carries no data dependency — pollers
+        // only branch on it, and "slightly late" observation is inherent
+        // to cooperative cancellation anyway.
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired: explicitly cancelled, or past its
+    /// deadline. Polling is cheap (one atomic load; one clock read only
+    /// when a deadline is armed).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// A clone of this token that additionally fires at `deadline`
+    /// (keeping the earlier deadline when one is already armed). The flag
+    /// stays shared, so cancelling either token cancels both.
+    #[must_use]
+    pub fn with_deadline(&self, deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(match self.deadline {
+                Some(existing) => existing.min(deadline),
+                None => deadline,
+            }),
+        }
+    }
+
+    /// [`with_deadline`](Self::with_deadline), measured from now. A
+    /// `timeout` too large to represent leaves the deadline unchanged
+    /// (it could never fire within the process lifetime anyway).
+    #[must_use]
+    pub fn deadline_in(&self, timeout: Duration) -> Self {
+        match Instant::now().checked_add(timeout) {
+            Some(deadline) => self.with_deadline(deadline),
+            None => self.clone(),
+        }
+    }
+
+    /// The armed deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag) && self.deadline == other.deadline
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_fires_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn elapsed_deadline_fires_without_cancel() {
+        let token = CancelToken::new().deadline_in(Duration::ZERO);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_early() {
+        let token = CancelToken::new().deadline_in(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn tightening_keeps_the_earlier_deadline() {
+        let near = Instant::now();
+        let token = CancelToken::new()
+            .with_deadline(near)
+            .deadline_in(Duration::from_secs(3600));
+        assert_eq!(token.deadline(), Some(near), "earlier deadline wins");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_clone_shares_the_flag() {
+        let token = CancelToken::new();
+        let bounded = token.deadline_in(Duration::from_secs(3600));
+        token.cancel();
+        assert!(bounded.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_shared_flag_plus_deadline() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new(), "distinct flags differ");
+        assert_ne!(a, a.deadline_in(Duration::from_secs(1)));
+    }
+}

@@ -588,6 +588,11 @@ pub fn parse_inst(line: &str) -> Result<Inst, String> {
     })
 }
 
+/// Largest block count a dump header may claim. Far above anything the
+/// builder produces, low enough that the parser's eager slot allocation
+/// stays harmless on hostile input.
+const MAX_HEADER_BLOCKS: u64 = 1 << 16;
+
 /// A partially built structured statement during parsing.
 enum Ctx {
     If {
@@ -645,6 +650,28 @@ pub fn parse_program(text: &str) -> Result<KernelProgram, String> {
     // shared, local in order.
     if nums.len() != 5 {
         return Err(format!("bad header field count in {header:?}"));
+    }
+    // Sanity-cap the header counts before trusting them: a hostile dump
+    // claiming 2^64 blocks must fail to parse, not abort the process
+    // trying to allocate their slots; register/predicate/memory fields
+    // must round-trip through their real widths instead of truncating.
+    if nums[0] > MAX_HEADER_BLOCKS {
+        return Err(format!(
+            "block count {} exceeds the {MAX_HEADER_BLOCKS} cap",
+            nums[0]
+        ));
+    }
+    if nums[1] > u64::from(u16::MAX) || nums[2] > u64::from(u16::MAX) {
+        return Err(format!(
+            "register/predicate counts {}/{} overflow u16",
+            nums[1], nums[2]
+        ));
+    }
+    if nums[3] > u64::from(u32::MAX) || nums[4] > u64::from(u32::MAX) {
+        return Err(format!(
+            "memory byte counts {}/{} overflow u32",
+            nums[3], nums[4]
+        ));
     }
     let block_count = nums[0] as usize;
 
@@ -924,6 +951,75 @@ mod tests {
                 "seed {seed}: lowered IR changed\n{text}"
             );
             parsed.validate().expect("reparsed program must validate");
+        }
+    }
+
+    /// Hostile header counts are rejected with `Err`, never an allocation
+    /// abort or a silent truncation.
+    #[test]
+    fn hostile_header_counts_are_rejected() {
+        let header = |blocks: &str, regs: &str, shared: &str| {
+            format!(
+                ".kernel evil (blocks: {blocks}, regs: {regs}, preds: 0, \
+                 shared: {shared} B, local: 0 B)"
+            )
+        };
+        for text in [
+            header("18446744073709551615", "1", "0"),
+            header("65537", "1", "0"),
+            header("1", "65536", "0"),
+            header("1", "1", "4294967296"),
+        ] {
+            let err = parse_program(&text).expect_err("hostile header must not parse");
+            assert!(
+                err.contains("cap") || err.contains("overflow"),
+                "unexpected error for {text:?}: {err}"
+            );
+        }
+        // The cap itself is still accepted: an empty program may reserve
+        // up to MAX_HEADER_BLOCKS block slots.
+        parse_program(&header("65536", "0", "0")).expect("cap boundary parses");
+    }
+
+    mod parse_never_panics {
+        use super::super::*;
+        use crate::genkernel::GeneratedKernel;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `parse_inst` returns `Ok` or `Err` on arbitrary bytes —
+            /// it never panics.
+            #[test]
+            fn inst_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+                let text = String::from_utf8_lossy(&bytes);
+                let _ = parse_inst(&text);
+            }
+
+            /// `parse_program` returns `Ok` or `Err` on arbitrary bytes.
+            #[test]
+            fn program_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+                let text = String::from_utf8_lossy(&bytes);
+                let _ = parse_program(&text);
+            }
+
+            /// `parse_program` survives single-byte corruptions of *real*
+            /// dumps — the mutations reach deep parser paths (headers,
+            /// regions, instruction bodies) that random bytes rarely hit.
+            #[test]
+            fn program_on_corrupted_real_dumps(
+                seed in any::<u64>(),
+                pos in any::<usize>(),
+                byte in any::<u8>(),
+            ) {
+                let kernel = GeneratedKernel::generate(seed % 64);
+                let mut bytes = dump_program(&kernel.program).into_bytes();
+                if !bytes.is_empty() {
+                    let at = pos % bytes.len();
+                    bytes[at] = byte;
+                }
+                let text = String::from_utf8_lossy(&bytes);
+                let _ = parse_program(&text);
+            }
         }
     }
 }

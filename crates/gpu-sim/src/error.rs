@@ -50,6 +50,11 @@ pub enum ExecError {
     BarrierDeadlock,
     /// The launch exceeded its instruction budget (runaway loop guard).
     FuelExhausted,
+    /// The launch was abandoned because its [`CancelToken`]
+    /// (`crate::cancel::CancelToken`) fired — a caller cancellation or an
+    /// expired wall-clock deadline. Checked cooperatively at basic-block
+    /// boundaries.
+    Cancelled,
     /// The launch geometry is degenerate (zero threads).
     EmptyLaunch,
     /// The requested warp width is outside 1..=64.
@@ -97,6 +102,9 @@ impl std::fmt::Display for ExecError {
                 write!(f, "barrier deadlock: warp finished while others wait")
             }
             ExecError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            ExecError::Cancelled => {
+                write!(f, "launch cancelled (caller cancellation or deadline)")
+            }
             ExecError::EmptyLaunch => write!(f, "launch has zero threads"),
             ExecError::InvalidWarpSize { warp_size } => {
                 write!(f, "warp size {warp_size} outside 1..=64")

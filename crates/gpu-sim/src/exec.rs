@@ -8,6 +8,7 @@
 //! leakage is explicitly out of scope, so a deterministic order is not only
 //! acceptable but desirable for differential analysis.
 
+use crate::cancel::CancelToken;
 use crate::error::ExecError;
 use crate::grid::LaunchConfig;
 use crate::hook::{KernelHook, LaunchInfo, MemEventBatch};
@@ -20,6 +21,12 @@ use owl_metrics::SimCounters;
 /// Default per-launch instruction budget; generous enough for every
 /// workload in this repository while still catching runaway loops.
 pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+
+/// Basic-block entries between [`CancelToken`] polls. Striding keeps the
+/// clock read (armed deadlines call `Instant::now`) off the per-block hot
+/// path while still bounding the reaction latency to a few hundred
+/// instructions; an un-armed launch pays one branch per block entry.
+pub(crate) const CANCEL_CHECK_STRIDE: u32 = 64;
 
 /// Counters describing one completed launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,7 +73,7 @@ pub enum Interpreter {
 }
 
 /// Launch options beyond geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LaunchOptions {
     /// Instruction budget for the launch.
     pub fuel: u64,
@@ -77,6 +84,9 @@ pub struct LaunchOptions {
     pub warp_size: u32,
     /// Which interpreter runs the kernel (default: the lowered fast path).
     pub interpreter: Interpreter,
+    /// Cooperative cancellation handle, polled at basic-block boundaries
+    /// by both interpreters; `None` disarms the checks entirely.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for LaunchOptions {
@@ -85,6 +95,7 @@ impl Default for LaunchOptions {
             fuel: DEFAULT_FUEL,
             warp_size: crate::grid::WARP_SIZE,
             interpreter: Interpreter::default(),
+            cancel: None,
         }
     }
 }
@@ -157,6 +168,15 @@ pub fn launch_with_options(
             warp_size: options.warp_size,
         });
     }
+    // A token that fired before the launch started: bail before the hook
+    // sees `kernel_begin`, so no half-open kernel appears in any trace.
+    if options
+        .cancel
+        .as_ref()
+        .is_some_and(CancelToken::is_cancelled)
+    {
+        return Err(ExecError::Cancelled);
+    }
     let info = LaunchInfo {
         kernel: program.name.clone(),
         config,
@@ -168,6 +188,7 @@ pub fn launch_with_options(
     // Pre-decode the kernel once; every warp interprets the lowered form.
     let lowered = LoweredProgram::lower(program);
     let mut fuel = options.fuel;
+    let mut cancel_countdown = 0u32;
     let mut counters = SimCounters::default();
     let mut stats = LaunchStats::default();
     // One warp runs at a time, so a single reusable event batch serves the
@@ -212,6 +233,8 @@ pub fn launch_with_options(
                     shared: &mut shared,
                     hook,
                     fuel: &mut fuel,
+                    cancel: options.cancel.as_ref(),
+                    cancel_countdown: &mut cancel_countdown,
                     args,
                     counters: &mut counters,
                     batch: &mut batch,
@@ -730,6 +753,74 @@ mod tests {
             },
         );
         assert_eq!(err.unwrap_err(), ExecError::FuelExhausted);
+    }
+
+    /// An expired deadline stops a runaway loop with `Cancelled` — on both
+    /// interpreters, well before the (huge) fuel budget would.
+    #[test]
+    fn expired_deadline_cancels_runaway_loop() {
+        let b = KernelBuilder::new("spin");
+        let one = b.mov(1u64);
+        b.while_loop(
+            |b| b.setp(CmpOp::Eq, one, 1u64),
+            |b| {
+                let _ = b.add(one, 0u64);
+            },
+        );
+        let k = b.finish();
+        for interpreter in [Interpreter::Lowered, Interpreter::Oracle] {
+            let mut mem = DeviceMemory::new();
+            let token = crate::cancel::CancelToken::new();
+            let err = launch_with_options(
+                &mut mem,
+                &k,
+                LaunchConfig::new(1u32, 32u32),
+                &[],
+                &mut NullHook,
+                LaunchOptions {
+                    cancel: Some(token.deadline_in(std::time::Duration::from_millis(5))),
+                    interpreter,
+                    ..LaunchOptions::default()
+                },
+            );
+            assert_eq!(
+                err.unwrap_err(),
+                ExecError::Cancelled,
+                "{interpreter:?} must abandon the launch at a block boundary"
+            );
+        }
+    }
+
+    /// A token that fired before launch bails out before `kernel_begin`:
+    /// the hook observes no events at all.
+    #[test]
+    fn pre_cancelled_token_emits_no_events() {
+        let b = KernelBuilder::new("noop");
+        let _ = b.mov(0u64);
+        let k = b.finish();
+        for interpreter in [Interpreter::Lowered, Interpreter::Oracle] {
+            let token = crate::cancel::CancelToken::new();
+            token.cancel();
+            let mut mem = DeviceMemory::new();
+            let mut hook = RecordingHook::default();
+            let err = launch_with_options(
+                &mut mem,
+                &k,
+                LaunchConfig::new(1u32, 32u32),
+                &[],
+                &mut hook,
+                LaunchOptions {
+                    cancel: Some(token.clone()),
+                    interpreter,
+                    ..LaunchOptions::default()
+                },
+            );
+            assert_eq!(err.unwrap_err(), ExecError::Cancelled);
+            assert!(
+                hook.kernels.is_empty(),
+                "{interpreter:?} must not announce a cancelled launch"
+            );
+        }
     }
 
     /// Out-of-bounds access reports the faulting location.

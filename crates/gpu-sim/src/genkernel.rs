@@ -797,6 +797,7 @@ pub fn run_kernel(kernel: &GeneratedKernel, interpreter: Interpreter) -> LaunchO
             fuel: kernel.fuel,
             warp_size: kernel.warp_size,
             interpreter,
+            cancel: None,
         },
     );
     let final_buffers = kernel

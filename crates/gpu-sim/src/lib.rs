@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod cancel;
 pub mod disasm;
 pub mod error;
 pub mod exec;
@@ -75,6 +76,7 @@ pub mod program;
 mod warp;
 
 pub use build::KernelBuilder;
+pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use exec::{launch, launch_with_options, Interpreter, LaunchOptions, LaunchStats};
 pub use grid::{Dim3, LaunchConfig, WARP_SIZE};

@@ -50,6 +50,8 @@ struct OracleEnv<'a> {
     shared: &'a mut LinearMemory,
     hook: &'a mut dyn KernelHook,
     fuel: &'a mut u64,
+    cancel: Option<&'a crate::cancel::CancelToken>,
+    cancel_countdown: &'a mut u32,
     args: &'a [u64],
     counters: &'a mut SimCounters,
 }
@@ -292,6 +294,17 @@ impl<'p> OracleWarp<'p> {
         env: &mut OracleEnv<'_>,
     ) -> Result<(), ExecError> {
         debug_assert_ne!(mask, 0, "executing a block with no active lanes");
+        // Same strided cancellation poll as the lowered engine, before
+        // `bb_entry`, so both interpreters abandon at identical points.
+        if let Some(token) = env.cancel {
+            if *env.cancel_countdown == 0 {
+                if token.is_cancelled() {
+                    return Err(ExecError::Cancelled);
+                }
+                *env.cancel_countdown = crate::exec::CANCEL_CHECK_STRIDE;
+            }
+            *env.cancel_countdown -= 1;
+        }
         env.hook.bb_entry(self.warp_ref, id);
         let block = &self.program.blocks[id.0 as usize];
         for (inst_idx, inst) in block.insts.iter().enumerate() {
@@ -657,6 +670,15 @@ pub fn launch_oracle(
             warp_size: options.warp_size,
         });
     }
+    // Pre-launch token check, mirroring the lowered engine: a fired token
+    // bails before `kernel_begin` reaches the hook.
+    if options
+        .cancel
+        .as_ref()
+        .is_some_and(crate::cancel::CancelToken::is_cancelled)
+    {
+        return Err(ExecError::Cancelled);
+    }
     let info = LaunchInfo {
         kernel: program.name.clone(),
         config,
@@ -666,6 +688,7 @@ pub fn launch_oracle(
     hook.kernel_begin(&info);
 
     let mut fuel = options.fuel;
+    let mut cancel_countdown = 0u32;
     let mut counters = SimCounters::default();
     let mut stats = LaunchStats::default();
 
@@ -704,6 +727,8 @@ pub fn launch_oracle(
                     shared: &mut shared,
                     hook,
                     fuel: &mut fuel,
+                    cancel: options.cancel.as_ref(),
+                    cancel_countdown: &mut cancel_countdown,
                     args,
                     counters: &mut counters,
                 };

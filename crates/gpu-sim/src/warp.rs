@@ -18,7 +18,9 @@
 //! The explicit stack lets a warp *pause* at a block-wide barrier and be
 //! resumed by the engine once all warps of the CTA arrive.
 
+use crate::cancel::CancelToken;
 use crate::error::ExecError;
+use crate::exec::CANCEL_CHECK_STRIDE;
 use crate::grid::Dim3;
 use crate::hook::{AccessKind, KernelHook, MemEventBatch, WarpRef};
 use crate::isa::{AtomicOp, BinOp, CmpOp, MemSpace, Pred, ShflMode, UnOp};
@@ -44,6 +46,11 @@ pub(crate) struct ExecEnv<'a> {
     pub batch: &'a mut MemEventBatch,
     /// Remaining instruction budget for the whole launch.
     pub fuel: &'a mut u64,
+    /// Cooperative cancellation handle, polled at block entry.
+    pub cancel: Option<&'a CancelToken>,
+    /// Block entries until the next cancellation poll (shared across the
+    /// launch so the stride holds globally, not per warp).
+    pub cancel_countdown: &'a mut u32,
     /// Kernel arguments.
     pub args: &'a [u64],
     /// Execution counters for launch statistics (instructions, branches,
@@ -456,6 +463,18 @@ impl<'p> WarpExec<'p> {
         env: &mut ExecEnv<'_>,
     ) -> Result<(), ExecError> {
         debug_assert_ne!(mask, 0, "executing a block with no active lanes");
+        // Cancellation poll, strided so armed deadlines read the clock at
+        // most once every `CANCEL_CHECK_STRIDE` block entries. Checked
+        // before `bb_entry` so an abandoned launch emits no partial block.
+        if let Some(token) = env.cancel {
+            if *env.cancel_countdown == 0 {
+                if token.is_cancelled() {
+                    return Err(ExecError::Cancelled);
+                }
+                *env.cancel_countdown = CANCEL_CHECK_STRIDE;
+            }
+            *env.cancel_countdown -= 1;
+        }
         env.hook.bb_entry(self.warp_ref, id);
         let block = &self.lowered.blocks[id.0 as usize];
         let n = block.insts.len() as u64;

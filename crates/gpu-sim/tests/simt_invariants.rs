@@ -133,6 +133,7 @@ fn run_probed(
             fuel: kernel.fuel,
             warp_size: kernel.warp_size,
             interpreter,
+            cancel: None,
         },
     )
     .ok()?;

@@ -451,7 +451,7 @@ impl Device {
                     config,
                     args,
                     &mut *hook,
-                    self.launch_options,
+                    self.launch_options.clone(),
                 )?
             }
             None => launch_with_options(
@@ -460,7 +460,7 @@ impl Device {
                 config,
                 args,
                 &mut NullHook,
-                self.launch_options,
+                self.launch_options.clone(),
             )?,
         };
         self.total_stats.accumulate(&stats);

@@ -157,6 +157,14 @@ pub struct PhaseFaultCounters {
     /// Worker panics caught and converted into typed failures (a subset of
     /// `failed_attempts` when the panic struck a recording attempt).
     pub panics: u64,
+    /// Quarantines caused by resource-budget exhaustion (instruction fuel,
+    /// memory events, allocations, evidence bytes) — a subset of
+    /// `quarantined`, except for evidence-footprint exhaustion, which is
+    /// recorded here without quarantining any run.
+    pub budget_exhausted: u64,
+    /// Runs cancelled by the caller's token or an expired wall-clock
+    /// deadline (a subset of `quarantined`).
+    pub cancelled: u64,
 }
 
 impl PhaseFaultCounters {
@@ -168,6 +176,8 @@ impl PhaseFaultCounters {
         self.retried += other.retried;
         self.quarantined += other.quarantined;
         self.panics += other.panics;
+        self.budget_exhausted += other.budget_exhausted;
+        self.cancelled += other.cancelled;
     }
 
     /// `true` when no fault has been counted (the monoid identity).
@@ -365,12 +375,16 @@ mod tests {
                 retried: seed,
                 quarantined: seed % 4,
                 panics: seed % 2,
+                budget_exhausted: seed % 5,
+                cancelled: seed % 3,
             },
             evidence: PhaseFaultCounters {
                 failed_attempts: seed * 3,
                 retried: seed * 2,
                 quarantined: seed % 7,
                 panics: 0,
+                budget_exhausted: seed % 2,
+                cancelled: seed % 6,
             },
             analysis: PhaseFaultCounters {
                 panics: seed % 3,

@@ -8,6 +8,13 @@
 //! [`NoiseDummy`] is a program whose accesses vary run-to-run independently
 //! of the input (a randomised defence, the paper's "non-deterministic
 //! factors"): Owl must *not* flag it.
+//!
+//! [`RunawaySpin`] is the resource-governance demo: every run spins an
+//! unbounded device loop, so each launch burns the full instruction budget
+//! and fails with `FuelExhausted`. Under a small `--max-instructions` the
+//! detector quarantines every run quickly and reports
+//! `Verdict::Inconclusive`; under the default multi-billion fuel it is
+//! effectively a hang reproducer.
 
 use crate::util::{rng, seeded_bytes};
 use owl_core::TracedProgram;
@@ -183,6 +190,59 @@ impl TracedProgram for NoiseDummy {
     /// evidence sets and is dismissed as input-independent.
     fn deterministic_host(&self) -> bool {
         false
+    }
+}
+
+fn build_spin_kernel() -> KernelProgram {
+    let b = KernelBuilder::new("runaway_spin");
+    let one = b.mov(1u64);
+    b.while_loop(
+        |b| b.setp(CmpOp::Eq, one, 1u64),
+        |b| {
+            let _ = b.add(one, 0u64);
+        },
+    );
+    b.finish()
+}
+
+/// A program whose kernel never terminates: an unbounded `while (1)` spin.
+///
+/// Exists to exercise the resource budgets end to end — there is no leak to
+/// find; every run exhausts its instruction budget and is quarantined.
+#[derive(Debug, Clone)]
+pub struct RunawaySpin {
+    kernel: KernelProgram,
+}
+
+impl RunawaySpin {
+    /// A fresh runaway program.
+    pub fn new() -> Self {
+        RunawaySpin {
+            kernel: build_spin_kernel(),
+        }
+    }
+}
+
+impl Default for RunawaySpin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TracedProgram for RunawaySpin {
+    type Input = u64;
+
+    fn name(&self) -> &str {
+        "runaway-spin"
+    }
+
+    fn run(&self, device: &mut Device, _input: &u64) -> Result<(), HostError> {
+        device.launch(&self.kernel, LaunchConfig::new(1u32, 32u32), &[])?;
+        Ok(())
+    }
+
+    fn random_input(&self, seed: u64) -> u64 {
+        seed
     }
 }
 

@@ -4,7 +4,10 @@
 //! owl-detect <workload> [--runs N] [--alpha F] [--engine ks|tvla|mi]
 //!            [--compare-engines] [--aslr SEED]
 //!            [--parallelism N] [--retries N] [--min-runs N]
-//!            [--inject transient|quarantine|panic]
+//!            [--max-instructions N] [--max-mem-events N]
+//!            [--max-allocations N] [--max-evidence-bytes N]
+//!            [--deadline-ms N]
+//!            [--inject transient|quarantine|panic|budget|deadline]
 //!            [--format text|json] [--metrics-out PATH]
 //!
 //! workloads:
@@ -13,7 +16,7 @@
 //!          mseloss|nllloss|crossentropy|repr|embedding|layernorm>
 //!   jpeg-encode | jpeg-decode | jpeg-encode-fixed
 //!   dummy[:<threads>] | noise | histogram | histogram-oblivious
-//!   search | search-fixed | mlp | coalescing | render
+//!   search | search-fixed | mlp | coalescing | render | runaway
 //! ```
 //!
 //! `--format json` prints the schema-versioned [`DetectionSummary`] on
@@ -37,16 +40,25 @@
 //! `--inject` wraps the workload in the deterministic fault-injection
 //! harness (testing/demo only): `transient` faults recover through
 //! retries, `quarantine` kills the whole random evidence stream (exit 3),
-//! `panic` quarantines a single run without changing the verdict.
+//! `panic` quarantines a single run without changing the verdict,
+//! `budget` simulates budget exhaustion across the random evidence stream
+//! (exit 3), `deadline` simulates a deadline expiry on a single run.
+//!
+//! The `--max-*` flags and `--deadline-ms` bound what the detection may
+//! consume: instruction fuel per launch, memory events and allocations per
+//! run, evidence bytes per detection, wall clock for the whole run.
+//! Exhaustion quarantines runs (never aborts); losing too much yields
+//! exit 3. The `runaway` workload spins an unbounded kernel loop —
+//! pair it with `--max-instructions` to see the budget catch it.
 
 use owl::core::{
     detect, Detection, DetectionSummary, Engine, ExecFaultKind, FaultPlan, FaultRule,
-    FaultyProgram, InjectedFault, MetricsReport, OwlConfig, RetryPolicy, TracedProgram, Verdict,
-    STREAM_RND,
+    FaultyProgram, InjectedFault, MetricsReport, OwlConfig, ResourceKind, RetryPolicy,
+    TracedProgram, Verdict, STREAM_RND,
 };
 use owl::workloads::aes::{AesScan, AesTTable};
 use owl::workloads::coalescing::CoalescingStride;
-use owl::workloads::dummy::{DummySbox, NoiseDummy};
+use owl::workloads::dummy::{DummySbox, NoiseDummy, RunawaySpin};
 use owl::workloads::histogram::{HistogramDirect, HistogramOblivious};
 use owl::workloads::jpeg::{synthetic_image, JpegDecode, JpegEncode, JpegEncodeFixedLength};
 use owl::workloads::mlp::{MlpHiddenWidth, WIDTHS};
@@ -74,6 +86,11 @@ struct Options {
     parallelism: Option<usize>,
     retries: Option<u32>,
     min_runs: Option<usize>,
+    max_instructions: Option<u64>,
+    max_mem_events: Option<u64>,
+    max_allocations: Option<u64>,
+    max_evidence_bytes: Option<usize>,
+    deadline_ms: Option<u64>,
     inject: Option<String>,
     format: OutputFormat,
     metrics_out: Option<String>,
@@ -83,6 +100,14 @@ impl Options {
     /// The detection config these options describe.
     fn config(&self) -> OwlConfig {
         let defaults = OwlConfig::default();
+        let mut budget = defaults.budget;
+        if let Some(max) = self.max_instructions {
+            budget.max_instructions = max;
+        }
+        budget.max_mem_events = self.max_mem_events;
+        budget.max_allocations = self.max_allocations;
+        budget.max_evidence_bytes = self.max_evidence_bytes;
+        budget.deadline = self.deadline_ms.map(std::time::Duration::from_millis);
         OwlConfig {
             runs: self.runs,
             alpha: self.alpha,
@@ -94,6 +119,7 @@ impl Options {
                 .retries
                 .map_or(defaults.retry, RetryPolicy::with_max_attempts),
             min_runs_per_set: self.min_runs,
+            budget,
             ..defaults
         }
     }
@@ -122,9 +148,19 @@ impl Options {
             // One random-evidence run panics persistently: the run is
             // quarantined, the quorum holds, the verdict is unchanged.
             "panic" => FaultPlan::new().fail_run(STREAM_RND, 0, InjectedFault::Panic),
+            // Every random-evidence run hits a simulated budget exhaustion:
+            // E_rnd falls below quorum and the detection exits 3.
+            "budget" => FaultPlan::new().fail_stream(
+                STREAM_RND,
+                InjectedFault::BudgetExhausted(ResourceKind::MemEvents),
+            ),
+            // A single run hits a simulated deadline expiry: it is
+            // quarantined, the quorum holds, the verdict is unchanged.
+            "deadline" => FaultPlan::new().fail_run(STREAM_RND, 0, InjectedFault::DeadlineExpired),
             other => {
                 return Err(format!(
-                    "unknown --inject scenario {other} (expected transient|quarantine|panic)"
+                    "unknown --inject scenario {other} \
+                     (expected transient|quarantine|panic|budget|deadline)"
                 ))
             }
         };
@@ -145,6 +181,11 @@ fn parse_args() -> Result<Options, String> {
         parallelism: None,
         retries: None,
         min_runs: None,
+        max_instructions: None,
+        max_mem_events: None,
+        max_allocations: None,
+        max_evidence_bytes: None,
+        deadline_ms: None,
         inject: None,
         format: OutputFormat::Text,
         metrics_out: None,
@@ -201,6 +242,41 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--min-runs needs a number")?,
                 );
             }
+            "--max-instructions" => {
+                opts.max_instructions = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-instructions needs an instruction budget")?,
+                );
+            }
+            "--max-mem-events" => {
+                opts.max_mem_events = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-mem-events needs an event budget")?,
+                );
+            }
+            "--max-allocations" => {
+                opts.max_allocations = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-allocations needs an allocation budget")?,
+                );
+            }
+            "--max-evidence-bytes" => {
+                opts.max_evidence_bytes = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-evidence-bytes needs a byte budget")?,
+                );
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--deadline-ms needs a duration in milliseconds")?,
+                );
+            }
             "--inject" => {
                 opts.inject = Some(args.next().ok_or("--inject needs a scenario name")?);
             }
@@ -232,6 +308,11 @@ where
     P::Input: Send + Sync,
 {
     let config = opts.config();
+    // Reject nonsensical configs up front with the typed error's message
+    // (exit 1) instead of silently clamping.
+    config
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
     let result = match opts.injection_plan()? {
         // The blanket `&P: TracedProgram` impl lets the harness wrap the
         // borrowed workload.
@@ -440,6 +521,10 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
             let w = CoalescingStride::new();
             report(&name, &run_detection(&w, &[1, 33, 65, 97], opts)?, opts)
         }
+        "runaway" => {
+            let w = RunawaySpin::new();
+            report(&name, &run_detection(&w, &[1, 2, 3], opts)?, opts)
+        }
         other => {
             if let Some(rest) = other.strip_prefix("dummy") {
                 let elems = rest
@@ -474,7 +559,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: owl-detect <workload> [--runs N] [--alpha F] [--engine ks|tvla|mi] \
                  [--compare-engines] [--aslr SEED] [--parallelism N] [--retries N] [--min-runs N] \
-                 [--inject transient|quarantine|panic] [--format text|json] [--metrics-out PATH]"
+                 [--max-instructions N] [--max-mem-events N] [--max-allocations N] \
+                 [--max-evidence-bytes N] [--deadline-ms N] \
+                 [--inject transient|quarantine|panic|budget|deadline] [--format text|json] \
+                 [--metrics-out PATH]"
             );
             return ExitCode::from(1);
         }

@@ -310,6 +310,104 @@ fn compare_engines_stdout_is_byte_identical_across_parallelism() {
 }
 
 #[test]
+fn zero_budget_flag_exits_one_with_friendly_error() {
+    let out = owl_detect(&["dummy", "--runs", "8", "--max-instructions", "0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "nonsense budgets are usage errors"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(stderr.contains("invalid configuration"), "stderr: {stderr}");
+    assert!(stderr.contains("instructions"), "stderr: {stderr}");
+}
+
+#[test]
+fn runaway_workload_under_instruction_budget_exits_three() {
+    let out = owl_detect(&[
+        "runaway",
+        "--runs",
+        "4",
+        "--max-instructions",
+        "10000",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "a runaway kernel under budget is inconclusive, not a hang"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(get(&value, "verdict").as_str(), Some("inconclusive"));
+    let trace = get(get(&value, "faults"), "trace_collection");
+    assert_eq!(*get(trace, "budget_exhausted"), serde_json::Value::Int(3));
+    assert_eq!(
+        *get(get(&value, "config"), "max_instructions"),
+        serde_json::Value::Int(10000)
+    );
+}
+
+#[test]
+fn injected_budget_exhaustion_exits_three() {
+    let out = owl_detect(&[
+        "dummy", "--runs", "8", "--inject", "budget", "--format", "json",
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(get(&value, "verdict").as_str(), Some("inconclusive"));
+    let log = get(&value, "fault_log").as_seq().expect("fault_log array");
+    assert_eq!(log.len(), 8, "the whole random stream is lost");
+    assert_eq!(
+        get(&log[0], "error_kind").as_str(),
+        Some("budget_exhausted")
+    );
+}
+
+#[test]
+fn injected_deadline_expiry_keeps_a_quorum_intact_verdict() {
+    let out = owl_detect(&[
+        "dummy", "--runs", "8", "--inject", "deadline", "--format", "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "one cancelled run leaves the quorum intact"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(get(&value, "verdict").as_str(), Some("leaky"));
+    let evidence = get(get(&value, "faults"), "evidence");
+    assert_eq!(*get(evidence, "cancelled"), serde_json::Value::Int(1));
+}
+
+#[test]
+fn deadline_flag_is_echoed_without_affecting_a_fast_run() {
+    let out = owl_detect(&[
+        "dummy",
+        "--runs",
+        "8",
+        "--deadline-ms",
+        "60000",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a generous deadline never fires"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("stdout parses as JSON");
+    assert_eq!(
+        *get(get(&value, "config"), "deadline_millis"),
+        serde_json::Value::Int(60000)
+    );
+}
+
+#[test]
 fn metrics_out_writes_wall_clock_report() {
     let dir = std::env::temp_dir().join("owl-cli-json-test");
     std::fs::create_dir_all(&dir).expect("temp dir");

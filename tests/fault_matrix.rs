@@ -82,6 +82,7 @@ fn every_fault() -> Vec<(&'static str, InjectedFault)> {
                 ExecFaultKind::BarrierDivergence => "exec_barrier_divergence",
                 ExecFaultKind::BarrierDeadlock => "exec_barrier_deadlock",
                 ExecFaultKind::FuelExhausted => "exec_fuel_exhausted",
+                ExecFaultKind::Cancelled => "exec_cancelled",
                 ExecFaultKind::EmptyLaunch => "exec_empty_launch",
                 ExecFaultKind::InvalidWarpSize => "exec_invalid_warp_size",
                 ExecFaultKind::UnboundTexture => "exec_unbound_texture",
